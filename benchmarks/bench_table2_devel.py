@@ -1,0 +1,64 @@
+"""Table 2 — developer trials and time (human study; reported as a proxy).
+
+The paper's Table 2 measures human developers (number of
+develop-compile-test-debug trials and wall-clock hours) writing each program
+in P4-16 versus ClickINC.  A human study cannot be reproduced mechanically;
+as a proxy this benchmark measures what *is* mechanical about the claim —
+the end-to-end automated pipeline (parse → compile → place → synthesise)
+succeeds in a single trial and in seconds, while the equivalent P4 artefact
+the developer would have to write and debug by hand is an order of magnitude
+more code (see Table 1).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.core import ClickINC
+from repro.lang.profile import default_profile
+from repro.topology import build_paper_emulation_topology
+
+#: Paper-reported values, for reference only.
+PAPER = {
+    "KVS": {"p4_trials": 12, "p4_time": "~1h", "clickinc_trials": 1, "clickinc_time": "~10m"},
+    "MLAgg": {"p4_trials": 14, "p4_time": "~3h", "clickinc_trials": 2, "clickinc_time": "~25m"},
+    "DQAcc": {"p4_trials": 6, "p4_time": "~30m", "clickinc_trials": 0, "clickinc_time": "~5m"},
+}
+
+
+def deploy_all_templates():
+    topo = build_paper_emulation_topology()
+    inc = ClickINC(topo, generate_code=False)
+    results = {}
+    for app, sources, dest in (
+        ("KVS", ["pod0(a)", "pod1(a)"], "pod2(b)"),
+        ("MLAgg", ["pod0(b)", "pod1(b)"], "pod2(b)"),
+        ("DQAcc", ["pod0(a)", "pod0(b)"], "pod2(b)"),
+    ):
+        deployed = inc.deploy_profile(default_profile(app), sources, dest,
+                                      name=f"{app.lower()}_t2")
+        results[app] = deployed.deploy_time_s
+    return results
+
+
+def test_table2_developer_effort_proxy(benchmark):
+    times = benchmark(deploy_all_templates)
+    rows = []
+    for app, seconds in times.items():
+        rows.append([
+            app,
+            PAPER[app]["p4_trials"], PAPER[app]["p4_time"],
+            PAPER[app]["clickinc_trials"], PAPER[app]["clickinc_time"],
+            1, f"{seconds:.2f}s (automated)",
+        ])
+    print_table(
+        "Table 2 (proxy): development trials / time — human study not reproduced",
+        ["App", "P4 trials (paper)", "P4 time (paper)",
+         "ClickINC trials (paper)", "ClickINC time (paper)",
+         "trials (ours, automated)", "time (ours, automated)"],
+        rows,
+    )
+    # the mechanical claim: template-based development deploys first-try,
+    # end to end, in well under a minute per application
+    assert all(seconds < 60 for seconds in times.values())

@@ -1,0 +1,45 @@
+"""Shared fixtures and report helpers for the benchmark harness.
+
+Every benchmark module regenerates one table or figure of the ClickINC paper
+and prints the corresponding rows/series, so running
+
+    pytest benchmarks/ --benchmark-only -s
+
+produces a textual version of the paper's evaluation section alongside the
+pytest-benchmark timing statistics.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.frontend import compile_template
+from repro.lang.profile import default_profile
+from repro.topology import build_paper_emulation_topology
+
+
+def print_table(title: str, headers, rows) -> None:
+    """Print an aligned text table (the benchmark harness's 'figure')."""
+    widths = [len(str(h)) for h in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(str(cell)))
+    line = " | ".join(str(h).ljust(widths[i]) for i, h in enumerate(headers))
+    print(f"\n=== {title} ===")
+    print(line)
+    print("-+-".join("-" * w for w in widths))
+    for row in rows:
+        print(" | ".join(str(c).ljust(widths[i]) for i, c in enumerate(row)))
+
+
+@pytest.fixture(scope="session")
+def paper_topology_session():
+    return build_paper_emulation_topology()
+
+
+@pytest.fixture(scope="session")
+def template_programs():
+    return {
+        app: compile_template(default_profile(app), name=f"{app.lower()}_bench")
+        for app in ("KVS", "MLAgg", "DQAcc")
+    }

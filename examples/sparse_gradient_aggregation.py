@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Sparse ML gradient aggregation across heterogeneous devices (paper Fig. 7).
+
+A user wraps the MLAgg template with sparse-block filtering: all-zero blocks
+of each worker's gradient are dropped before aggregation.  ClickINC places
+the combined program across the devices on the worker→parameter-server paths
+(smartNIC racks and switches), and the emulator shows the traffic reduction
+achieved per training round.
+
+Run with:  python examples/sparse_gradient_aggregation.py
+"""
+
+from repro.apps import MLAggApplication, SparseMLAggApplication
+from repro.core import ClickINC
+from repro.topology import build_paper_emulation_topology
+
+
+def main() -> None:
+    topology = build_paper_emulation_topology()
+    inc = ClickINC(topology)
+
+    app = SparseMLAggApplication(
+        name="sparse_agg_demo",
+        num_workers=8,
+        vector_dim=24,
+        num_aggregators=2048,
+        block_num=4,
+        block_size=6,
+        sparsity=0.5,
+        floating_point=False,
+        source_groups=["pod1(a)", "pod1(b)"],
+        destination_group="pod2(b)",
+    )
+
+    program = app.user_program()
+    print(f"user program compiled to {len(program)} IR instructions, "
+          f"{len(program.states)} stateful objects")
+
+    deployed = inc.deploy_program(program, app.source_groups, app.destination_group)
+    print("placed on devices:", ", ".join(deployed.devices()))
+    per_device = deployed.plan.instructions_per_device()
+    for device, count in sorted(per_device.items()):
+        dev_type = topology.device(device).dev_type
+        print(f"  {device:<12} ({dev_type:<8}) : {count} instructions")
+
+    rounds = 40
+    workload = app.workload("pod1(a)")
+    metrics = inc.run_traffic(workload.packets(rounds))
+
+    print(f"\n{rounds} training rounds with {app.num_workers} workers:")
+    print(f"  gradient packets sent      : {metrics.packets_sent}")
+    print(f"  absorbed by aggregation    : {metrics.packets_dropped_innetwork}")
+    print(f"  aggregated results returned: {metrics.packets_reflected}")
+    print(f"  traffic reduction          : {metrics.traffic_reduction():.2%}")
+    print(f"  mean in-network latency    : {metrics.mean_latency_ns:.0f} ns")
+
+    # reference check for one round: the software sum equals what the switch
+    # would return for the same round of gradients
+    reference = MLAggApplication.software_aggregate(workload.round_packets(0))
+    print(f"\nsoftware reference aggregate (round 0, first 6 dims): "
+          f"{reference[0][:6]}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The execution environment has no network access and no ``wheel`` package, so
+PEP 517 editable installs (which need ``bdist_wheel``) fail.  Keeping a
+``setup.py`` lets ``pip install -e . --no-build-isolation`` fall back to the
+legacy editable code path, which works offline.
+"""
+
+from setuptools import setup
+
+setup()

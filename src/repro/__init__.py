@@ -1,0 +1,27 @@
+"""repro — a from-scratch reproduction of ClickINC (SIGCOMM 2023).
+
+ClickINC is a framework that lets application developers write in-network
+computing (INC) programs in a Python-style language and deploys them
+automatically across heterogeneous programmable data-center devices
+(switch ASICs, smartNICs, FPGAs), with multi-path-aware placement, per-user
+isolation, and incremental compilation.
+
+Public entry points
+-------------------
+* :class:`repro.core.ClickINC` — the end-to-end controller
+  (compile → place → synthesise → deploy → run).
+* :mod:`repro.lang` — the ClickINC language, profiles and templates.
+* :mod:`repro.frontend` — the compiler frontend (user program → IR).
+* :mod:`repro.placement` — block construction and the DP/SMT placers.
+* :mod:`repro.synthesis` — base-program merging and incremental synthesis.
+* :mod:`repro.backend` — P4 / NPL / Micro-C / HLS code generation.
+* :mod:`repro.emulator` — the software network emulator.
+* :mod:`repro.topology` / :mod:`repro.devices` — network and device models.
+* :mod:`repro.apps` — KVS, MLAgg (dense & sparse) and DQAcc applications.
+"""
+
+from repro.core import ClickINC
+
+__version__ = "0.1.0"
+
+__all__ = ["ClickINC", "__version__"]

@@ -1,0 +1,21 @@
+"""End-to-end INC applications built on the ClickINC public API.
+
+Each application bundles: the profile it submits to the controller, the
+workload generator for its traffic, and host-side verification logic (what a
+server / parameter server would compute without INC), so examples, tests and
+benchmarks can measure correctness and benefit.
+"""
+
+from repro.apps.kvs import KVSApplication
+from repro.apps.mlagg import MLAggApplication, SparseMLAggApplication
+from repro.apps.dqacc import DQAccApplication
+from repro.apps.autoconfig import ParameterAutoConfigurator, ResourceModel
+
+__all__ = [
+    "KVSApplication",
+    "MLAggApplication",
+    "SparseMLAggApplication",
+    "DQAccApplication",
+    "ParameterAutoConfigurator",
+    "ResourceModel",
+]

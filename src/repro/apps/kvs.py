@@ -1,0 +1,90 @@
+"""In-network key-value store application (NetCache-style).
+
+Bundles the KVS profile, its workload, a software reference cache (what a
+server-side cache would do), and helpers to pre-populate the in-network
+cache with hot keys — mirroring how the NetCache control plane promotes keys
+reported by the heavy-hitter detector.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.emulator.network import NetworkEmulator
+from repro.emulator.traffic import KVSWorkload, zipf_keys
+from repro.lang.profile import PacketFormat, Profile, TrafficSpec
+
+
+@dataclass
+class KVSApplication:
+    """A tenant deploying the KVS template."""
+
+    name: str = "kvs_0"
+    cache_depth: int = 5000
+    num_keys: int = 10000
+    skew: float = 1.2
+    value_dim: int = 16
+    source_groups: List[str] = field(default_factory=lambda: ["pod0(a)", "pod1(a)"])
+    destination_group: str = "pod2(b)"
+
+    # ------------------------------------------------------------------ #
+    def profile(self) -> Profile:
+        return Profile(
+            app="KVS",
+            performance={
+                "max_hit_acc": [0.7, 0.3],
+                "depth": self.cache_depth,
+                "value_dim": self.value_dim,
+            },
+            traffic=TrafficSpec.uniform(self.source_groups, 10e6),
+            packet_format=PacketFormat(
+                app_fields={"op": 8, "key": 128, "value_0": 32}
+            ),
+            user=self.name,
+        )
+
+    def workload(self, source_group: Optional[str] = None) -> KVSWorkload:
+        return KVSWorkload(
+            src_group=source_group or self.source_groups[0],
+            dst_group=self.destination_group,
+            num_keys=self.num_keys,
+            skew=self.skew,
+            owner=self.name,
+        )
+
+    # ------------------------------------------------------------------ #
+    def hot_keys(self, fraction: float = 0.1) -> List[int]:
+        """The most popular keys under the Zipf distribution (rank order)."""
+        count = max(1, int(self.num_keys * fraction))
+        return list(range(count))
+
+    def populate_cache(self, emulator: NetworkEmulator, fraction: float = 0.1) -> int:
+        """Install hot keys into every deployed cache table (control plane).
+
+        Returns the number of devices whose cache was populated.
+        """
+        populated = 0
+        hot = self.hot_keys(fraction)
+        for runtime in emulator.runtimes.values():
+            for owner, snippet, _ in runtime.snippets:
+                if owner != self.name:
+                    continue
+                for state_name in snippet.states:
+                    if "cache" in state_name:
+                        for key in hot:
+                            runtime.state.table_insert(state_name, key, key * 7 + 1)
+                        populated += 1
+        return populated
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def expected_hit_ratio(num_keys: int, cached_fraction: float, skew: float) -> float:
+        """Analytic Zipf hit ratio for caching the top ``cached_fraction`` keys."""
+        import numpy as np
+
+        ranks = np.arange(1, num_keys + 1, dtype=float)
+        weights = ranks ** (-skew)
+        weights /= weights.sum()
+        top = int(num_keys * cached_fraction)
+        return float(weights[:top].sum())

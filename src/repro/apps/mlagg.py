@@ -1,0 +1,117 @@
+"""ML gradient aggregation applications (dense and sparse).
+
+``MLAggApplication`` deploys the plain MLAgg template; the switch aggregates
+each worker's gradient once per sequence number and reflects the sum back
+when all workers have reported.  ``SparseMLAggApplication`` wraps the
+user-extended program of paper Fig. 7: all-zero blocks of the gradient are
+dropped (on a smartNIC / FPGA hop) before aggregation, reducing traffic
+before it reaches the aggregation switch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.ir.program import IRProgram
+from repro.emulator.traffic import MLAggWorkload
+from repro.frontend import compile_source
+from repro.lang.profile import PacketFormat, Profile, TrafficSpec
+from repro.lang.templates.mlagg import sparse_mlagg_source
+
+
+@dataclass
+class MLAggApplication:
+    """A tenant deploying dense in-network gradient aggregation."""
+
+    name: str = "mlagg_0"
+    num_workers: int = 8
+    vector_dim: int = 24
+    num_aggregators: int = 5000
+    floating_point: bool = False
+    source_groups: List[str] = field(default_factory=lambda: ["pod0(b)", "pod1(b)"])
+    destination_group: str = "pod2(b)"
+
+    def profile(self) -> Profile:
+        return Profile(
+            app="MLAgg",
+            performance={
+                "precision_dec": 3 if self.floating_point else 0,
+                "is_sparse": 0,
+                "depth": self.num_aggregators,
+                "dim": self.vector_dim,
+                "workers": self.num_workers,
+            },
+            traffic=TrafficSpec.uniform(self.source_groups, 5e6),
+            packet_format=PacketFormat(
+                app_fields={
+                    "op": 8,
+                    "seq": 32,
+                    "bitmap": self.num_workers,
+                    "data": 32 * self.vector_dim,
+                }
+            ),
+            user=self.name,
+        )
+
+    def workload(self, source_group: Optional[str] = None,
+                 sparsity: float = 0.0) -> MLAggWorkload:
+        return MLAggWorkload(
+            src_group=source_group or self.source_groups[0],
+            dst_group=self.destination_group,
+            num_workers=self.num_workers,
+            vector_dim=self.vector_dim,
+            sparsity=sparsity,
+            owner=self.name,
+        )
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def software_aggregate(packets) -> Dict[int, List[int]]:
+        """Reference aggregation a parameter server would compute."""
+        sums: Dict[int, List[int]] = {}
+        for packet in packets:
+            seq = packet.get_field("seq", 0)
+            data = packet.get_field("data", [])
+            if seq not in sums:
+                sums[seq] = [0] * len(data)
+            for index, value in enumerate(data):
+                sums[seq][index] += value
+        return sums
+
+
+@dataclass
+class SparseMLAggApplication(MLAggApplication):
+    """Sparse gradient aggregation: the user program of paper Fig. 7."""
+
+    name: str = "sparse_mlagg_0"
+    block_num: int = 4
+    block_size: int = 6
+    sparsity: float = 0.5
+
+    def user_program(self) -> IRProgram:
+        """Compile the sparse-aggregation user program (template + extension)."""
+        output = sparse_mlagg_source(
+            block_num=self.block_num,
+            block_size=self.block_size,
+            num_agg=self.num_aggregators,
+            vec_dim=self.vector_dim,
+            is_convert=self.floating_point,
+        )
+        return compile_source(
+            output.source,
+            name=self.name,
+            constants=output.constants,
+            header_fields=output.header_fields,
+        )
+
+    def workload(self, source_group: Optional[str] = None,
+                 sparsity: Optional[float] = None) -> MLAggWorkload:
+        return MLAggWorkload(
+            src_group=source_group or self.source_groups[0],
+            dst_group=self.destination_group,
+            num_workers=self.num_workers,
+            vector_dim=self.block_num * self.block_size,
+            sparsity=self.sparsity if sparsity is None else sparsity,
+            owner=self.name,
+        )

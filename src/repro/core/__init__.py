@@ -1,0 +1,12 @@
+"""The ClickINC service: the paper's primary contribution as a public API.
+
+:class:`~repro.core.controller.ClickINC` ties the whole pipeline together —
+parse / compile a user program, place it with the DP algorithm, synthesise it
+with the base programs on the chosen devices, generate chip-specific code,
+and deploy it onto the network emulator — while supporting multiple users and
+incremental add/remove at runtime.
+"""
+
+from repro.core.controller import ClickINC, DeployedProgram
+
+__all__ = ["ClickINC", "DeployedProgram"]

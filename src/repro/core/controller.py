@@ -1,0 +1,172 @@
+"""The ClickINC controller: compile → place → synthesise → deploy.
+
+This is the user-facing entry point of the library.  A typical session:
+
+.. code-block:: python
+
+    from repro.core import ClickINC
+    from repro.topology import build_paper_emulation_topology
+    from repro.apps import KVSApplication
+
+    topo = build_paper_emulation_topology()
+    inc = ClickINC(topo)
+    app = KVSApplication(name="kvs_0")
+    deployed = inc.deploy_profile(app.profile(),
+                                  source_groups=app.source_groups,
+                                  destination_group=app.destination_group)
+    metrics = inc.run_traffic(app.workload().packets(1000))
+    inc.remove("kvs_0")
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.backend.codegen import generate_for_device
+from repro.emulator.metrics import RunMetrics
+from repro.emulator.network import NetworkEmulator
+from repro.emulator.packet import Packet
+from repro.exceptions import DeploymentError
+from repro.frontend.compiler import FrontendCompiler
+from repro.ir.program import IRProgram
+from repro.lang.profile import Profile
+from repro.placement.dp import DPPlacer, PlacementRequest
+from repro.placement.plan import PlacementPlan
+from repro.synthesis.incremental import IncrementalSynthesizer, SynthesisDelta
+from repro.topology.network import NetworkTopology
+
+
+@dataclass
+class DeployedProgram:
+    """Book-keeping for one deployed user program."""
+
+    name: str
+    plan: PlacementPlan
+    delta: SynthesisDelta
+    source_groups: List[str]
+    destination_group: str
+    device_sources: Dict[str, str] = field(default_factory=dict)
+    deploy_time_s: float = 0.0
+
+    def devices(self) -> List[str]:
+        return self.plan.devices_used()
+
+
+class ClickINC:
+    """The ClickINC in-network-computing service controller."""
+
+    def __init__(self, topology: NetworkTopology, incremental: bool = True,
+                 adaptive_weights: bool = True, generate_code: bool = True) -> None:
+        self.topology = topology
+        self.compiler = FrontendCompiler()
+        self.placer = DPPlacer(topology)
+        self.synthesizer = IncrementalSynthesizer(topology, incremental=incremental)
+        self.emulator = NetworkEmulator(topology)
+        self.adaptive_weights = adaptive_weights
+        self.generate_code = generate_code
+        self.deployed: Dict[str, DeployedProgram] = {}
+
+    # ------------------------------------------------------------------ #
+    # compile + deploy
+    # ------------------------------------------------------------------ #
+    def deploy_profile(self, profile: Profile, source_groups: Sequence[str],
+                       destination_group: str,
+                       name: Optional[str] = None) -> DeployedProgram:
+        """Deploy a template-based program described by *profile*."""
+        program_name = name or f"{profile.app.lower()}_{profile.user}"
+        program = self.compiler.compile_profile(profile, name=program_name)
+        return self.deploy_program(program, source_groups, destination_group)
+
+    def deploy_source(self, source: str, source_groups: Sequence[str],
+                      destination_group: str, name: str,
+                      constants: Optional[Dict[str, object]] = None,
+                      header_fields: Optional[Dict[str, int]] = None
+                      ) -> DeployedProgram:
+        """Deploy a hand-written ClickINC program."""
+        program = self.compiler.compile_source(
+            source, name=name, constants=constants, header_fields=header_fields
+        )
+        return self.deploy_program(program, source_groups, destination_group)
+
+    def deploy_program(self, program: IRProgram, source_groups: Sequence[str],
+                       destination_group: str,
+                       traffic_rates: Optional[Dict[str, float]] = None
+                       ) -> DeployedProgram:
+        """Place, synthesise, and install an already-compiled IR program."""
+        if program.name in self.deployed:
+            raise DeploymentError(f"program {program.name!r} is already deployed")
+        start = time.perf_counter()
+        request = PlacementRequest(
+            program=program,
+            source_groups=list(source_groups),
+            destination_group=destination_group,
+            traffic_rates=traffic_rates,
+            adaptive_weights=self.adaptive_weights,
+        )
+        plan = self.placer.place(request)
+        self.placer.commit(plan)
+        delta = self.synthesizer.add_program(plan)
+        self.emulator.deploy(plan, source_groups, destination_group)
+
+        device_sources: Dict[str, str] = {}
+        if self.generate_code:
+            for device_name, snippet in plan.device_snippets().items():
+                device = self.topology.device(device_name)
+                device_sources[device_name] = generate_for_device(device, snippet)
+
+        deployed = DeployedProgram(
+            name=program.name,
+            plan=plan,
+            delta=delta,
+            source_groups=list(source_groups),
+            destination_group=destination_group,
+            device_sources=device_sources,
+            deploy_time_s=time.perf_counter() - start,
+        )
+        self.deployed[program.name] = deployed
+        return deployed
+
+    def remove(self, name: str, lazy: bool = True) -> SynthesisDelta:
+        """Remove a deployed program, releasing its resources."""
+        deployed = self.deployed.pop(name, None)
+        if deployed is None:
+            raise DeploymentError(f"program {name!r} is not deployed")
+        delta = self.synthesizer.remove_program(name, lazy=lazy)
+        self.placer.release(deployed.plan)
+        self.emulator.undeploy(name)
+        return delta
+
+    # ------------------------------------------------------------------ #
+    # runtime
+    # ------------------------------------------------------------------ #
+    def run_traffic(self, packets: Sequence[Packet], **kwargs) -> RunMetrics:
+        """Send packets through the emulated network."""
+        return self.emulator.run(packets, **kwargs)
+
+    # ------------------------------------------------------------------ #
+    # inspection
+    # ------------------------------------------------------------------ #
+    def deployed_programs(self) -> List[str]:
+        return sorted(self.deployed)
+
+    def placement_summary(self, name: str) -> Dict[str, object]:
+        deployed = self.deployed.get(name)
+        if deployed is None:
+            raise DeploymentError(f"program {name!r} is not deployed")
+        return deployed.plan.summary()
+
+    def network_utilisation(self) -> float:
+        return self.topology.total_utilisation()
+
+    def generated_code(self, name: str, device_name: str) -> str:
+        deployed = self.deployed.get(name)
+        if deployed is None:
+            raise DeploymentError(f"program {name!r} is not deployed")
+        try:
+            return deployed.device_sources[device_name]
+        except KeyError as exc:
+            raise DeploymentError(
+                f"program {name!r} has no snippet on device {device_name!r}"
+            ) from exc

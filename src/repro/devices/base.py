@@ -1,0 +1,269 @@
+"""Device abstraction shared by all chip models.
+
+The placement algorithms treat a device as (i) a capability-class filter and
+(ii) a vector of resource capacities, organised either per pipeline stage
+(pipeline devices) or as a single pool (run-to-completion devices).  This
+module defines that abstraction plus the bookkeeping for allocating and
+releasing resources as programs are deployed and removed.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from repro.exceptions import ResourceExhaustedError
+from repro.ir.instructions import InstrClass, Instruction, resource_footprint
+from repro.ir.program import IRProgram
+
+
+class Architecture(str, enum.Enum):
+    """High-level device architecture (paper Appendix D)."""
+
+    PIPELINE = "pipeline"
+    RTC = "rtc"            # run to completion (multi-core)
+    HYBRID = "hybrid"      # cores organisable as a pipeline (NFP, FPGA)
+
+
+#: Resource dimension names used across the library.
+RESOURCE_KEYS = (
+    "sram_kb",      # SRAM for tables / registers
+    "tcam_kb",      # TCAM for ternary matching
+    "alu",          # stateless ALUs
+    "salu",         # stateful ALUs
+    "hash",         # hash / checksum units
+    "gateway",      # predicate evaluation resources
+    "dsp",          # complex arithmetic (multiplication, floating point)
+    "instructions", # micro-instruction slots (RTC devices)
+)
+
+
+@dataclass
+class StageResources:
+    """Resource capacities of a single pipeline stage (or RTC core pool)."""
+
+    capacities: Dict[str, float] = field(default_factory=dict)
+    used: Dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for key in self.capacities:
+            self.used.setdefault(key, 0.0)
+
+    def available(self, key: str) -> float:
+        return self.capacities.get(key, 0.0) - self.used.get(key, 0.0)
+
+    def can_fit(self, demand: Dict[str, float]) -> bool:
+        return all(
+            self.available(key) >= amount
+            for key, amount in demand.items()
+            if amount > 0
+        )
+
+    def allocate(self, demand: Dict[str, float]) -> None:
+        if not self.can_fit(demand):
+            raise ResourceExhaustedError(
+                f"stage cannot fit demand {demand}; available="
+                f"{ {k: self.available(k) for k in demand} }"
+            )
+        for key, amount in demand.items():
+            if amount > 0:
+                self.used[key] = self.used.get(key, 0.0) + amount
+
+    def release(self, demand: Dict[str, float]) -> None:
+        for key, amount in demand.items():
+            if amount > 0:
+                self.used[key] = max(0.0, self.used.get(key, 0.0) - amount)
+
+    def utilisation(self) -> float:
+        ratios = [
+            self.used.get(key, 0.0) / cap
+            for key, cap in self.capacities.items()
+            if cap > 0
+        ]
+        return max(ratios) if ratios else 0.0
+
+    def copy(self) -> "StageResources":
+        return StageResources(dict(self.capacities), dict(self.used))
+
+
+@dataclass
+class DeviceResources:
+    """All resources of a device: one :class:`StageResources` per stage."""
+
+    stages: List[StageResources] = field(default_factory=list)
+
+    def total_capacity(self, key: str) -> float:
+        return sum(stage.capacities.get(key, 0.0) for stage in self.stages)
+
+    def copy(self) -> "DeviceResources":
+        return DeviceResources([stage.copy() for stage in self.stages])
+
+
+class Device:
+    """A programmable network device.
+
+    Parameters
+    ----------
+    name:
+        Unique device name in the topology (e.g. ``"ToR0"``).
+    dev_type:
+        Short type string (``"tofino"``, ``"tofino2"``, ``"td4"``, ``"nfp"``,
+        ``"fpga"``) used by equivalence-class grouping.
+    architecture:
+        Pipeline, RTC or hybrid.
+    supported_classes:
+        Capability classes (paper Table 9) this device can execute.
+    stages:
+        Per-stage resources.  RTC devices use a single pseudo-stage.
+    bandwidth_gbps:
+        Line rate of the device, used by the emulator and Eq. 49.
+    processing_latency_ns:
+        Fixed per-packet processing latency contribution of the device.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        dev_type: str,
+        architecture: Architecture,
+        supported_classes: Iterable[InstrClass],
+        stages: Sequence[StageResources],
+        bandwidth_gbps: float = 100.0,
+        processing_latency_ns: float = 400.0,
+    ) -> None:
+        self.name = name
+        self.dev_type = dev_type
+        self.architecture = architecture
+        self.supported_classes: FrozenSet[InstrClass] = frozenset(supported_classes) | {
+            InstrClass.META
+        }
+        self.stages: List[StageResources] = list(stages)
+        self.bandwidth_gbps = bandwidth_gbps
+        self.processing_latency_ns = processing_latency_ns
+        self.deployed_programs: Dict[str, List[int]] = {}
+
+    # ------------------------------------------------------------------ #
+    # capability checks
+    # ------------------------------------------------------------------ #
+    @property
+    def num_stages(self) -> int:
+        return len(self.stages)
+
+    def supports_class(self, cls: InstrClass) -> bool:
+        return cls in self.supported_classes
+
+    def supports_instruction(self, instr: Instruction) -> bool:
+        return self.supports_class(instr.instr_class)
+
+    def supports_program(self, program: IRProgram) -> bool:
+        return all(self.supports_instruction(instr) for instr in program)
+
+    def unsupported_classes(self, classes: Iterable[InstrClass]) -> FrozenSet[InstrClass]:
+        return frozenset(classes) - self.supported_classes
+
+    # ------------------------------------------------------------------ #
+    # resource accounting
+    # ------------------------------------------------------------------ #
+    def instruction_demand(self, instr: Instruction) -> Dict[str, float]:
+        """Translate an instruction's abstract footprint into device resources."""
+        raw = resource_footprint(instr)
+        return {
+            "alu": float(raw["alu"]),
+            "salu": float(raw["salu"]),
+            "hash": float(raw["hash"]),
+            "gateway": float(raw["gateway"]),
+            "dsp": float(raw["dsp"]),
+            "tcam_kb": raw["tcam_bits"] / 8192.0,
+            "sram_kb": raw["sram_bits"] / 8192.0,
+            "instructions": 1.0,
+        }
+
+    def state_demand(self, program: IRProgram, state_names: Iterable[str]) -> Dict[str, float]:
+        """Memory demand of the persistent states named in *state_names*."""
+        sram_bits = 0
+        tcam_bits = 0
+        for name in state_names:
+            state = program.get_state(name)
+            if state.kind.value in ("ternary_table",):
+                tcam_bits += state.total_bits
+            else:
+                sram_bits += state.total_bits
+        return {"sram_kb": sram_bits / 8192.0, "tcam_kb": tcam_bits / 8192.0}
+
+    def can_fit_instructions(self, instructions: Sequence[Instruction]) -> bool:
+        """Quick feasibility check: capability classes + aggregate resources."""
+        for instr in instructions:
+            if not self.supports_instruction(instr):
+                return False
+        total: Dict[str, float] = {}
+        for instr in instructions:
+            for key, value in self.instruction_demand(instr).items():
+                total[key] = total.get(key, 0.0) + value
+        available: Dict[str, float] = {}
+        for stage in self.stages:
+            for key in total:
+                available[key] = available.get(key, 0.0) + stage.available(key)
+        return all(available.get(key, 0.0) >= value for key, value in total.items())
+
+    def remaining_ratio(self) -> float:
+        """Fraction of total resources still free (used by adaptive weights)."""
+        total = 0.0
+        free = 0.0
+        for stage in self.stages:
+            for key, cap in stage.capacities.items():
+                if cap <= 0:
+                    continue
+                total += 1.0
+                free += max(0.0, stage.available(key)) / cap
+        return free / total if total else 1.0
+
+    def utilisation(self) -> float:
+        return 1.0 - self.remaining_ratio()
+
+    def allocate_stage(self, stage_index: int, demand: Dict[str, float]) -> None:
+        self.stages[stage_index].allocate(demand)
+
+    def release_stage(self, stage_index: int, demand: Dict[str, float]) -> None:
+        self.stages[stage_index].release(demand)
+
+    def snapshot(self) -> List[StageResources]:
+        """Copy of per-stage resource usage, for rollback during search."""
+        return [stage.copy() for stage in self.stages]
+
+    def restore(self, snapshot: List[StageResources]) -> None:
+        self.stages = [stage.copy() for stage in snapshot]
+
+    def reset(self) -> None:
+        """Release every allocation on this device."""
+        for stage in self.stages:
+            stage.used = {key: 0.0 for key in stage.capacities}
+        self.deployed_programs.clear()
+
+    # ------------------------------------------------------------------ #
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"{type(self).__name__}(name={self.name!r}, stages={self.num_stages}, "
+            f"bw={self.bandwidth_gbps}G)"
+        )
+
+
+class PipelineDevice(Device):
+    """A fixed-stage match-action pipeline device (Tofino, Trident4)."""
+
+    def __init__(self, *args, **kwargs) -> None:
+        kwargs.setdefault("architecture", Architecture.PIPELINE)
+        super().__init__(*args, **kwargs)
+
+
+class RTCDevice(Device):
+    """A run-to-completion multi-core device (NFP smartNIC cores)."""
+
+    def __init__(self, *args, **kwargs) -> None:
+        kwargs.setdefault("architecture", Architecture.RTC)
+        super().__init__(*args, **kwargs)
+
+
+def uniform_stages(num_stages: int, per_stage: Dict[str, float]) -> List[StageResources]:
+    """Build *num_stages* identical :class:`StageResources`."""
+    return [StageResources(dict(per_stage)) for _ in range(num_stages)]

@@ -1,0 +1,71 @@
+"""Xilinx FPGA smartNIC / accelerator card model (paper Appendix E.4).
+
+The FPGA is modelled as a hybrid device: a configurable pipeline with large
+BRAM/URAM memory, DSP slices for complex arithmetic (including floating
+point), LUT/FF fabric, and support for every capability class including
+crypto.  It is the only device class that can run floating-point MLAgg
+aggregation or large stateful caches (hence the "bypass FPGA" attached to
+aggregation switches in the paper's Fig. 11 topology).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.devices.base import Architecture, Device, uniform_stages
+from repro.ir.instructions import InstrClass
+
+FPGA_CLASSES = frozenset(
+    {
+        InstrClass.BIN,
+        InstrClass.BIC,
+        InstrClass.BCA,
+        InstrClass.BSO,
+        InstrClass.BEM,
+        InstrClass.BSEM,
+        InstrClass.BNEM,
+        InstrClass.BSNEM,
+        InstrClass.BDM,
+        InstrClass.BBPF,
+        InstrClass.BAF,
+        InstrClass.BCF,
+    }
+)
+
+#: Per-virtual-stage resources derived from an Alveo U280-class card:
+#: 2016 BRAM36 blocks (~9 MB), 960 URAM blocks (~34 MB), 9024 DSP slices,
+#: 1.3 M LUTs — divided over the virtual pipeline stages.
+def _fpga_stage_resources(num_stages: int) -> Dict[str, float]:
+    total_bram_kb = 2016 * 4.5
+    total_uram_kb = 960 * 36.0
+    total_dsp = 9024.0
+    total_lut = 1_300_000.0
+    return {
+        "sram_kb": (total_bram_kb + total_uram_kb) / num_stages,
+        "tcam_kb": 512.0 / num_stages,          # CAM built from LUTRAM
+        "alu": total_lut / 2000.0 / num_stages,  # LUT budget per simple op
+        "salu": 64.0,
+        "hash": 16.0,
+        "gateway": 64.0,
+        "dsp": total_dsp / num_stages,
+        "instructions": 1e9,
+    }
+
+
+class XilinxFPGADevice(Device):
+    """A Xilinx Alveo-class FPGA accelerator card or FPGA smartNIC."""
+
+    DEFAULT_STAGES = 32
+
+    def __init__(self, name: str, num_stages: int = DEFAULT_STAGES,
+                 bandwidth_gbps: float = 100.0, as_nic: bool = False) -> None:
+        super().__init__(
+            name=name,
+            dev_type="fpga_nic" if as_nic else "fpga",
+            architecture=Architecture.HYBRID,
+            supported_classes=FPGA_CLASSES,
+            stages=uniform_stages(num_stages, _fpga_stage_resources(num_stages)),
+            bandwidth_gbps=bandwidth_gbps,
+            processing_latency_ns=2000.0,
+        )
+        self.as_nic = as_nic

@@ -1,0 +1,85 @@
+"""Netronome Agilio NFP smartNIC model (paper Appendix E.3).
+
+The NFP is a run-to-completion device: ~a hundred flow-processing cores (FPCs)
+arranged in islands with a hierarchical memory (GPR / LM / CLS / CTM / IM /
+EM).  It supports stateful exact and ternary match tables and integer
+multiply/divide, but no floating point.  Its per-core micro-instruction budget
+bounds how much program it can hold, and its per-packet latency is much higher
+than a switch ASIC's — which is why the paper pairs it with switches rather
+than replacing them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.devices.base import Architecture, RTCDevice, StageResources
+from repro.ir.instructions import InstrClass
+
+NFP_CLASSES = frozenset(
+    {
+        InstrClass.BIN,
+        InstrClass.BIC,
+        InstrClass.BSO,
+        InstrClass.BEM,
+        InstrClass.BSEM,
+        InstrClass.BNEM,
+        InstrClass.BSNEM,
+        InstrClass.BDM,
+        InstrClass.BBPF,
+        InstrClass.BAF,
+        InstrClass.BCF,
+    }
+)
+
+
+def _nfp_core_pool(num_islands: int, cores_per_island: int) -> List[StageResources]:
+    """Model the NFP as one pseudo-stage per island.
+
+    An island pools its cores' instruction slots and its shared CLS/CTM
+    memory; IM/EM (the large shared memories) are folded into the last
+    island's SRAM budget so big tables can still be hosted, at the cost of
+    latency (modelled via ``processing_latency_ns``).
+    """
+    stages: List[StageResources] = []
+    for index in range(num_islands):
+        sram_kb = 256.0 + 4096.0  # CLS + CTM share
+        if index == num_islands - 1:
+            sram_kb += 8 * 1024.0 + 2 * 1024 * 1024.0 / 64  # IM + a slice of EM
+        stages.append(
+            StageResources(
+                {
+                    "sram_kb": sram_kb,
+                    "tcam_kb": 64.0,
+                    "alu": cores_per_island * 8.0,
+                    "salu": cores_per_island * 2.0,
+                    "hash": cores_per_island * 1.0,
+                    "gateway": cores_per_island * 8.0,
+                    "dsp": cores_per_island * 2.0,
+                    "instructions": cores_per_island * 8192.0,
+                }
+            )
+        )
+    return stages
+
+
+class NetronomeNFPDevice(RTCDevice):
+    """A Netronome Agilio LX NFP smartNIC (multi-core, run-to-completion)."""
+
+    DEFAULT_ISLANDS = 6
+    DEFAULT_CORES_PER_ISLAND = 12
+
+    def __init__(self, name: str, num_islands: int = DEFAULT_ISLANDS,
+                 cores_per_island: int = DEFAULT_CORES_PER_ISLAND,
+                 bandwidth_gbps: float = 40.0) -> None:
+        super().__init__(
+            name=name,
+            dev_type="nfp",
+            architecture=Architecture.RTC,
+            supported_classes=NFP_CLASSES,
+            stages=_nfp_core_pool(num_islands, cores_per_island),
+            bandwidth_gbps=bandwidth_gbps,
+            processing_latency_ns=4000.0,
+        )
+        self.num_islands = num_islands
+        self.cores_per_island = cores_per_island

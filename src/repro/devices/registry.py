@@ -1,0 +1,45 @@
+"""Factory registry mapping device-type strings to device constructors.
+
+Topology builders describe devices with short strings (``"tofino"``,
+``"td4"``, ``"nfp"``, ``"fpga"``, ``"fpga_nic"``, ``"tofino2"``); this module
+turns those strings into configured :class:`~repro.devices.base.Device`
+instances.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.devices.base import Device
+from repro.devices.fpga import XilinxFPGADevice
+from repro.devices.netronome import NetronomeNFPDevice
+from repro.devices.tofino import Tofino2Device, TofinoDevice
+from repro.devices.trident4 import Trident4Device
+from repro.exceptions import TopologyError
+
+DEVICE_FACTORIES: Dict[str, Callable[[str], Device]] = {
+    "tofino": lambda name, **kw: TofinoDevice(name, **kw),
+    "tofino2": lambda name, **kw: Tofino2Device(name, **kw),
+    "td4": lambda name, **kw: Trident4Device(name, **kw),
+    "trident4": lambda name, **kw: Trident4Device(name, **kw),
+    "nfp": lambda name, **kw: NetronomeNFPDevice(name, **kw),
+    "smartnic": lambda name, **kw: NetronomeNFPDevice(name, **kw),
+    "fpga": lambda name, **kw: XilinxFPGADevice(name, **kw),
+    "fpga_nic": lambda name, **kw: XilinxFPGADevice(name, as_nic=True, **kw),
+}
+
+
+def make_device(dev_type: str, name: str, **kwargs) -> Device:
+    """Instantiate a device of *dev_type* named *name*.
+
+    Raises :class:`~repro.exceptions.TopologyError` for unknown types so a
+    topology description typo fails fast.
+    """
+    try:
+        factory = DEVICE_FACTORIES[dev_type.lower()]
+    except KeyError as exc:
+        raise TopologyError(
+            f"unknown device type {dev_type!r}; known types: "
+            f"{sorted(DEVICE_FACTORIES)}"
+        ) from exc
+    return factory(name, **kwargs)

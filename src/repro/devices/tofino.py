@@ -1,0 +1,92 @@
+"""Intel Tofino and Tofino2 switch ASIC models (paper Appendix E.1).
+
+Tofino follows the RMT architecture: a fixed number of match-action stages,
+each with a fixed share of SRAM, TCAM, stateful ALUs, hash units and gateway
+resources.  Tofino cannot execute integer multiplication/division, floating
+point arithmetic, stateful exact/ternary match tables (beyond registers) or
+crypto (paper Eq. 9), which is what forces the MLAgg sparse-detection part
+onto smartNICs/FPGAs in the paper's motivating example.
+
+The absolute resource numbers below are public approximations; placement
+behaviour depends on their relative sizes, which are preserved.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.devices.base import Architecture, PipelineDevice, uniform_stages
+from repro.ir.instructions import InstrClass
+
+#: Capability classes Tofino supports (Appendix E.1 compatibility constraint).
+TOFINO_CLASSES = frozenset(
+    {
+        InstrClass.BIN,
+        InstrClass.BSO,
+        InstrClass.BEM,
+        InstrClass.BNEM,
+        InstrClass.BBPF,
+        InstrClass.BAPF,
+        InstrClass.BAF,
+    }
+)
+
+#: Per-stage resources of a Tofino-1 pipeline (approximate public numbers).
+TOFINO_STAGE_RESOURCES: Dict[str, float] = {
+    "sram_kb": 80 * 16.0,     # 80 SRAM blocks x 16 KB
+    "tcam_kb": 24 * 2.75,     # 24 TCAM blocks x ~2.75 KB
+    "alu": 48.0,
+    "salu": 4.0,
+    "hash": 6.0,
+    "gateway": 16.0,
+    "dsp": 0.0,
+    "instructions": 1e9,      # pipeline devices are not instruction-count bound
+}
+
+#: Tofino2 doubles stage count and enlarges per-stage memory.
+TOFINO2_STAGE_RESOURCES: Dict[str, float] = {
+    "sram_kb": 100 * 16.0,
+    "tcam_kb": 32 * 2.75,
+    "alu": 64.0,
+    "salu": 6.0,
+    "hash": 8.0,
+    "gateway": 20.0,
+    "dsp": 0.0,
+    "instructions": 1e9,
+}
+
+
+class TofinoDevice(PipelineDevice):
+    """A 12-stage (per direction) Tofino-1 programmable switch ASIC."""
+
+    DEFAULT_STAGES = 12
+
+    def __init__(self, name: str, num_stages: int = DEFAULT_STAGES,
+                 bandwidth_gbps: float = 100.0) -> None:
+        super().__init__(
+            name=name,
+            dev_type="tofino",
+            architecture=Architecture.PIPELINE,
+            supported_classes=TOFINO_CLASSES,
+            stages=uniform_stages(num_stages, TOFINO_STAGE_RESOURCES),
+            bandwidth_gbps=bandwidth_gbps,
+            processing_latency_ns=400.0,
+        )
+
+
+class Tofino2Device(PipelineDevice):
+    """A 20-stage Tofino-2 programmable switch ASIC."""
+
+    DEFAULT_STAGES = 20
+
+    def __init__(self, name: str, num_stages: int = DEFAULT_STAGES,
+                 bandwidth_gbps: float = 400.0) -> None:
+        super().__init__(
+            name=name,
+            dev_type="tofino2",
+            architecture=Architecture.PIPELINE,
+            supported_classes=TOFINO_CLASSES,
+            stages=uniform_stages(num_stages, TOFINO2_STAGE_RESOURCES),
+            bandwidth_gbps=bandwidth_gbps,
+            processing_latency_ns=350.0,
+        )

@@ -1,0 +1,76 @@
+"""Broadcom Trident4 (TD4) switch ASIC model (paper Appendix E.2).
+
+TD4 is a pipeline switch programmed in NPL.  Its pipeline stages have
+*unbalanced* resources — some stages carry TCAM tiles but no exact-match
+tiles and vice versa — which makes allocation harder than on Tofino.  TD4
+supports mirroring/multicast special functions and simple stateful flex-state
+operations, but (like Tofino) no integer multiply/divide, no floating point,
+no stateful match tables and no crypto.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.devices.base import Architecture, PipelineDevice, StageResources
+from repro.ir.instructions import InstrClass
+
+TD4_CLASSES = frozenset(
+    {
+        InstrClass.BIN,
+        InstrClass.BSO,
+        InstrClass.BEM,
+        InstrClass.BNEM,
+        InstrClass.BDM,
+        InstrClass.BBPF,
+        InstrClass.BAPF,
+        InstrClass.BAF,
+    }
+)
+
+
+def _td4_stages(num_stages: int) -> List[StageResources]:
+    """Build the unbalanced TD4 stage list.
+
+    Even stages carry exact-match tiles (SRAM heavy) while odd stages carry
+    ternary tiles (TCAM heavy); flex-state components (stateful operations)
+    are only available in a third of the stages, mirroring the paper's note
+    that TD4's resources are unevenly distributed.
+    """
+    stages: List[StageResources] = []
+    for index in range(num_stages):
+        sram_heavy = index % 2 == 0
+        has_flex_state = index % 3 == 0
+        stages.append(
+            StageResources(
+                {
+                    "sram_kb": 1536.0 if sram_heavy else 256.0,
+                    "tcam_kb": 16.0 if sram_heavy else 96.0,
+                    "alu": 32.0,
+                    "salu": 4.0 if has_flex_state else 0.0,
+                    "hash": 4.0,
+                    "gateway": 12.0,
+                    "dsp": 0.0,
+                    "instructions": 1e9,
+                }
+            )
+        )
+    return stages
+
+
+class Trident4Device(PipelineDevice):
+    """A Broadcom Trident4 programmable switch with unbalanced stages."""
+
+    DEFAULT_STAGES = 16
+
+    def __init__(self, name: str, num_stages: int = DEFAULT_STAGES,
+                 bandwidth_gbps: float = 100.0) -> None:
+        super().__init__(
+            name=name,
+            dev_type="td4",
+            architecture=Architecture.PIPELINE,
+            supported_classes=TD4_CLASSES,
+            stages=_td4_stages(num_stages),
+            bandwidth_gbps=bandwidth_gbps,
+            processing_latency_ns=450.0,
+        )

@@ -1,0 +1,208 @@
+"""Network-level emulation: run placed programs over a topology.
+
+The :class:`NetworkEmulator` binds placement plans to device runtimes, routes
+packets along the topology's paths, applies the INC step protocol, and
+collects :class:`~repro.emulator.metrics.RunMetrics`.  It is a flow-accurate
+(not cycle-accurate) model: latency is the sum of link and device processing
+latencies, and goodput is derived from the traffic reduction the INC programs
+achieve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.emulator.interpreter import DeviceRuntime, ExecutionResult
+from repro.emulator.metrics import RunMetrics
+from repro.emulator.packet import Packet
+from repro.exceptions import EmulationError
+from repro.placement.plan import PlacementPlan
+from repro.topology.network import NetworkTopology
+
+
+@dataclass
+class DeploymentContext:
+    """A deployed program: its plan plus routing information."""
+
+    plan: PlacementPlan
+    source_groups: List[str]
+    destination_group: str
+    user_id: int
+
+
+class NetworkEmulator:
+    """Packet-level emulation of INC programs deployed on a topology."""
+
+    def __init__(self, topology: NetworkTopology) -> None:
+        self.topology = topology
+        self.runtimes: Dict[str, DeviceRuntime] = {
+            name: DeviceRuntime(device) for name, device in topology.devices.items()
+        }
+        self.deployments: Dict[str, DeploymentContext] = {}
+        self._next_user_id = 1
+
+    # ------------------------------------------------------------------ #
+    # deployment
+    # ------------------------------------------------------------------ #
+    def deploy(self, plan: PlacementPlan, source_groups: Sequence[str],
+               destination_group: str) -> DeploymentContext:
+        """Install *plan*'s snippets on the device runtimes."""
+        owner = plan.program_name
+        if owner in self.deployments:
+            raise EmulationError(f"program {owner!r} is already deployed")
+        snippets = plan.device_snippets()
+        steps = plan.step_table()
+        for device_name, snippet in snippets.items():
+            runtime = self.runtimes.get(device_name)
+            if runtime is None:
+                raise EmulationError(f"no runtime for device {device_name!r}")
+            runtime.install_snippet(owner, snippet, steps)
+        context = DeploymentContext(
+            plan=plan,
+            source_groups=list(source_groups),
+            destination_group=destination_group,
+            user_id=self._next_user_id,
+        )
+        self._next_user_id += 1
+        self.deployments[owner] = context
+        return context
+
+    def undeploy(self, owner: str) -> None:
+        context = self.deployments.pop(owner, None)
+        if context is None:
+            raise EmulationError(f"program {owner!r} is not deployed")
+        for device_name in context.plan.devices_used():
+            runtime = self.runtimes.get(device_name)
+            if runtime is not None:
+                runtime.remove_snippet(owner)
+
+    # ------------------------------------------------------------------ #
+    # packet processing
+    # ------------------------------------------------------------------ #
+    def run(self, packets: Sequence[Packet], link_latency_ns: float = 1000.0,
+            end_host_latency_ns: float = 5000.0) -> RunMetrics:
+        """Send *packets* through the network and return run metrics."""
+        metrics = RunMetrics()
+        for packet in packets:
+            self._route_packet(packet, metrics, link_latency_ns, end_host_latency_ns)
+        return metrics
+
+    def _route_packet(self, packet: Packet, metrics: RunMetrics,
+                      link_latency_ns: float, end_host_latency_ns: float) -> None:
+        metrics.packets_sent += 1
+        metrics.bytes_sent += packet.size_bytes()
+        context = self.deployments.get(packet.owner)
+        devices_with_snippet: set = set()
+        if context is not None:
+            packet.inc.user_id = context.user_id
+            devices_with_snippet = set(context.plan.devices_used())
+        path = self._choose_path(packet)
+
+        for hop_index, device_name in enumerate(path):
+            if hop_index > 0:
+                packet.latency_ns += link_latency_ns
+            runtime = self.runtimes[device_name]
+            # the switch may offload work to its bypass accelerator
+            targets = [device_name]
+            bypass = self.topology.bypass.get(device_name)
+            if bypass is not None and bypass in devices_with_snippet:
+                targets.append(bypass)
+            # smartNICs attached to the source rack process the packet first
+            result = ExecutionResult()
+            for target in targets:
+                target_runtime = self.runtimes[target]
+                if packet.owner in target_runtime.installed_owners():
+                    result = target_runtime.process_packet(packet)
+                    metrics.record_device(target, result.executed_instructions)
+                    if result.dropped or result.reflected:
+                        break
+                else:
+                    packet.latency_ns += target_runtime.device.processing_latency_ns * 0.25
+                    packet.hops.append(target)
+            if result.dropped:
+                packet.finished_at_device = device_name
+                metrics.packets_dropped_innetwork += 1
+                metrics.total_latency_ns += packet.latency_ns
+                metrics.bump("served_in_network")
+                return
+            if result.reflected:
+                packet.finished_at_device = device_name
+                metrics.packets_reflected += 1
+                # the reply travels back to the source; the reflected result
+                # is useful application data, so its bytes count as delivered
+                packet.latency_ns += hop_index * link_latency_ns
+                metrics.total_latency_ns += packet.latency_ns
+                packet.inc.params.clear()
+                metrics.bytes_reflected += packet.size_bytes()
+                metrics.bump("served_in_network")
+                return
+            if result.mirrored:
+                metrics.packets_mirrored += 1
+            if result.copied_to_cpu:
+                metrics.packets_to_cpu += 1
+
+        # delivered to the destination host group: the last network device
+        # strips the INC header (paper §6), so delivered bytes exclude it
+        packet.latency_ns += end_host_latency_ns
+        packet.inc.params.clear()
+        metrics.packets_delivered += 1
+        metrics.bytes_delivered += packet.size_bytes()
+        metrics.total_latency_ns += packet.latency_ns
+
+    def _choose_path(self, packet: Packet) -> List[str]:
+        paths = self.topology.paths_between_groups(packet.src_group, packet.dst_group)
+        if not paths:
+            raise EmulationError(
+                f"no path from {packet.src_group!r} to {packet.dst_group!r}"
+            )
+        # Flow-consistent ECMP: packets belonging to the same application flow
+        # (same aggregation job / same key / same query value) must traverse
+        # the same devices so they meet the same in-network state.  The flow
+        # key mirrors what the INC layer would hash on.
+        flow_key = (
+            packet.owner,
+            packet.get_field("seq", None),
+            packet.get_field("key", None),
+            packet.get_field("value", None),
+        )
+        index = hash(flow_key) % len(paths)
+        path = list(paths[index])
+        # a smartNIC on the source rack is the first processing hop
+        group = self.topology.host_group(packet.src_group)
+        if group.nic_type is not None:
+            for name, layer in self.topology.layers.items():
+                if layer == "nic" and self.topology.pods.get(name) == \
+                        self.topology.pods.get(group.tor) and \
+                        group.tor in self.topology.neighbors(name):
+                    path.insert(0, name)
+                    break
+        return path
+
+    # ------------------------------------------------------------------ #
+    # inspection helpers
+    # ------------------------------------------------------------------ #
+    def runtime(self, device_name: str) -> DeviceRuntime:
+        try:
+            return self.runtimes[device_name]
+        except KeyError as exc:
+            raise EmulationError(f"unknown device {device_name!r}") from exc
+
+    def state_of(self, device_name: str, state_name: str) -> Dict:
+        runtime = self.runtime(device_name)
+        if state_name in runtime.state.tables:
+            return dict(runtime.state.tables[state_name])
+        return dict(runtime.state.registers.get(state_name, {}))
+
+    def reset_state(self) -> None:
+        for runtime in self.runtimes.values():
+            owners = list(runtime.installed_owners())
+            runtime.state = type(runtime.state)()
+            for owner in owners:
+                context = self.deployments.get(owner)
+                if context is None:
+                    continue
+                snippets = context.plan.device_snippets()
+                snippet = snippets.get(runtime.device.name)
+                if snippet is not None:
+                    runtime.install_snippet(owner, snippet, context.plan.step_table())

@@ -1,0 +1,96 @@
+"""Packets and the transparent INC header (paper §4.1 and §6).
+
+The INC layer on end hosts inserts a generic internal header carrying:
+
+* ``user_id`` — which user program should process the packet,
+* ``step`` — the next program block the packet expects to execute (the
+  replication / skip protocol of §6),
+* ``params`` — temporary variables shared between devices when a program is
+  split (the Param field), and
+* application fields (key, value, seq, gradient vector, ...).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+_packet_counter = itertools.count()
+
+
+@dataclass
+class INCHeader:
+    """The ClickINC internal header inserted by the first network device."""
+
+    user_id: int = 0
+    step: int = 0
+    params: Dict[str, int] = field(default_factory=dict)
+
+    def size_bits(self) -> int:
+        bits = 16
+        for value in self.params.values():
+            bits += 32 * len(value) if isinstance(value, list) else 32
+        return bits
+
+    def copy(self) -> "INCHeader":
+        return INCHeader(user_id=self.user_id, step=self.step, params=dict(self.params))
+
+
+@dataclass
+class Packet:
+    """A packet traversing the emulated network.
+
+    ``fields`` holds both the standard header fields (``src_ip`` ...) and the
+    application header fields (``key``, ``seq``, ``data`` vectors as lists).
+    """
+
+    src_group: str
+    dst_group: str
+    app: str = ""
+    owner: str = ""
+    fields: Dict[str, object] = field(default_factory=dict)
+    inc: INCHeader = field(default_factory=INCHeader)
+    payload_bytes: int = 256
+    packet_id: int = field(default_factory=lambda: next(_packet_counter))
+    dropped: bool = False
+    reflected: bool = False
+    mirrored: bool = False
+    copied_to_cpu: bool = False
+    finished_at_device: Optional[str] = None
+    hops: List[str] = field(default_factory=list)
+    latency_ns: float = 0.0
+
+    # ------------------------------------------------------------------ #
+    def get_field(self, name: str, default=0):
+        return self.fields.get(name, default)
+
+    def set_field(self, name: str, value) -> None:
+        self.fields[name] = value
+
+    def size_bits(self) -> int:
+        app_bits = 0
+        for value in self.fields.values():
+            if isinstance(value, list):
+                app_bits += 32 * len(value)
+            else:
+                app_bits += 32
+        return self.payload_bytes * 8 + self.inc.size_bits() + app_bits
+
+    def size_bytes(self) -> float:
+        return self.size_bits() / 8.0
+
+    def copy(self) -> "Packet":
+        clone = Packet(
+            src_group=self.src_group,
+            dst_group=self.dst_group,
+            app=self.app,
+            owner=self.owner,
+            fields={
+                k: list(v) if isinstance(v, list) else v for k, v in self.fields.items()
+            },
+            inc=self.inc.copy(),
+            payload_bytes=self.payload_bytes,
+        )
+        clone.hops = list(self.hops)
+        return clone

@@ -1,0 +1,65 @@
+"""Exception hierarchy for the ClickINC reproduction.
+
+All library errors derive from :class:`ClickINCError` so callers can catch a
+single base class.  Sub-classes mirror the pipeline stages: language parsing,
+frontend compilation, placement, synthesis, backend code generation and the
+runtime emulator.
+"""
+
+from __future__ import annotations
+
+
+class ClickINCError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class LanguageError(ClickINCError):
+    """The user program violates the ClickINC language grammar."""
+
+
+class ProfileError(ClickINCError):
+    """A configuration profile is malformed or inconsistent with a template."""
+
+
+class CompileError(ClickINCError):
+    """The frontend could not lower a user program to IR."""
+
+
+class UnrollError(CompileError):
+    """A loop bound is not a compile-time constant, so it cannot be unrolled."""
+
+
+class IRError(ClickINCError):
+    """An IR program is malformed (bad operands, unknown opcode, ...)."""
+
+
+class PlacementError(ClickINCError):
+    """No feasible placement exists for a program on the target network."""
+
+
+class ResourceExhaustedError(PlacementError):
+    """A device (or the whole network) has insufficient resources."""
+
+
+class TopologyError(ClickINCError):
+    """The network topology is unsupported or inconsistent."""
+
+
+class SynthesisError(ClickINCError):
+    """User snippets could not be merged with the base program."""
+
+
+class IsolationError(SynthesisError):
+    """Two user programs would share state or control flow after merging."""
+
+
+class BackendError(ClickINCError):
+    """Chip-specific code generation failed."""
+
+
+class EmulationError(ClickINCError):
+    """The network emulator hit an inconsistent state."""
+
+
+class DeploymentError(ClickINCError):
+    """The controller failed to deploy or remove a program at runtime."""

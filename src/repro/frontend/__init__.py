@@ -1,0 +1,19 @@
+"""ClickINC compiler frontend.
+
+The frontend lowers a parsed ClickINC user program into the platform-
+independent IR (paper §4.2) through the following passes:
+
+1. **Template expansion** — library templates referenced by the program
+   (e.g. ``MLAgg``) are rendered and spliced in at their call site.
+2. **Constant folding and loop unrolling** — loops with compile-time-constant
+   trip counts are unrolled; non-constant bounds are an error.
+3. **Branch lowering** — ``if/else`` bodies become predicated (guarded)
+   instructions; there is no control-flow transfer in the IR.
+4. **Single-operand splitting & SSA** — compound expressions are split into
+   two-operand instructions and temporaries get single-assignment names,
+   removing write-after-read/write hazards before DAG construction.
+"""
+
+from repro.frontend.compiler import FrontendCompiler, compile_source, compile_template
+
+__all__ = ["FrontendCompiler", "compile_source", "compile_template"]

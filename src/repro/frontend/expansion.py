@@ -1,0 +1,209 @@
+"""Template expansion and loop unrolling over the ClickINC AST.
+
+These passes run before lowering:
+
+* :func:`expand_templates` replaces ``TemplateInstance`` / ``TemplateCall``
+  pairs with the rendered template body (parsed with the user's constants),
+  so a user program that wraps ``MLAgg`` (paper Fig. 7) becomes one flat
+  statement list.
+* :func:`unroll_loops` replaces every ``for ... in range(...)`` loop with
+  copies of its body, substituting the induction variable as a compile-time
+  constant in each copy.
+"""
+
+from __future__ import annotations
+
+from copy import deepcopy
+from typing import Dict, List
+
+from repro.exceptions import CompileError
+from repro.frontend.folding import ConstantEnv, unroll_range
+from repro.lang import ast_nodes as cn
+from repro.lang.parser import parse_program
+
+
+def expand_templates(statements: List[cn.Statement], env: ConstantEnv,
+                     program_name: str) -> List[cn.Statement]:
+    """Inline template bodies at their call sites.
+
+    A ``TemplateInstance`` records which template the name refers to; the
+    matching ``TemplateCall`` is replaced with the template body.  Templates
+    without a call site are inlined at the end of the program (the instance
+    alone implies use).
+    """
+    from repro.lang.templates import get_template
+    from repro.lang.profile import default_profile
+
+    instances: Dict[str, str] = {}
+    rendered_bodies: Dict[str, List[cn.Statement]] = {}
+    expanded: List[cn.Statement] = []
+    pending_uncalled: List[str] = []
+
+    for stmt in statements:
+        if isinstance(stmt, cn.TemplateInstance):
+            instances[stmt.name] = stmt.template
+            template = get_template(stmt.template)
+            profile = default_profile(stmt.template, user=program_name)
+            output = template.render(profile)
+            constants = dict(output.constants)
+            constants.update(env.as_dict())
+            body_module = parse_program(
+                output.source, name=f"{program_name}.{stmt.template}",
+                constants=constants,
+            )
+            for key, value in output.constants.items():
+                if key not in env:
+                    env.bind(key, value)
+            rendered_bodies[stmt.name] = body_module.body
+            pending_uncalled.append(stmt.name)
+            continue
+        if isinstance(stmt, cn.TemplateCall):
+            if stmt.instance not in rendered_bodies:
+                raise CompileError(
+                    f"{program_name}: template instance {stmt.instance!r} called "
+                    "before instantiation"
+                )
+            expanded.extend(deepcopy(rendered_bodies[stmt.instance]))
+            if stmt.instance in pending_uncalled:
+                pending_uncalled.remove(stmt.instance)
+            continue
+        if isinstance(stmt, cn.IfElse):
+            stmt = cn.IfElse(
+                condition=stmt.condition,
+                body=expand_templates(stmt.body, env, program_name),
+                orelse=expand_templates(stmt.orelse, env, program_name),
+                lineno=stmt.lineno,
+            )
+        elif isinstance(stmt, cn.ForLoop):
+            stmt = cn.ForLoop(
+                var=stmt.var,
+                start=stmt.start,
+                stop=stmt.stop,
+                step=stmt.step,
+                body=expand_templates(stmt.body, env, program_name),
+                lineno=stmt.lineno,
+            )
+        elif isinstance(stmt, cn.ExprStatement) and isinstance(stmt.value, cn.Call) \
+                and stmt.value.func in rendered_bodies:
+            expanded.extend(deepcopy(rendered_bodies[stmt.value.func]))
+            if stmt.value.func in pending_uncalled:
+                pending_uncalled.remove(stmt.value.func)
+            continue
+        expanded.append(stmt)
+
+    for name in pending_uncalled:
+        expanded.extend(deepcopy(rendered_bodies[name]))
+    return expanded
+
+
+def unroll_loops(statements: List[cn.Statement], env: ConstantEnv) -> List[cn.Statement]:
+    """Recursively unroll every for-loop with constant bounds."""
+    unrolled: List[cn.Statement] = []
+    for stmt in statements:
+        if isinstance(stmt, cn.ForLoop):
+            unrolled.extend(_unroll_one(stmt, env))
+        elif isinstance(stmt, cn.IfElse):
+            unrolled.append(
+                cn.IfElse(
+                    condition=stmt.condition,
+                    body=unroll_loops(stmt.body, env),
+                    orelse=unroll_loops(stmt.orelse, env),
+                    lineno=stmt.lineno,
+                )
+            )
+        else:
+            unrolled.append(stmt)
+    return unrolled
+
+
+def _unroll_one(loop: cn.ForLoop, env: ConstantEnv) -> List[cn.Statement]:
+    iterations = unroll_range(loop, env)
+    body: List[cn.Statement] = []
+    for value in iterations:
+        env.bind(loop.var, value)
+        substituted = [_substitute(deepcopy(stmt), loop.var, value) for stmt in loop.body]
+        body.extend(unroll_loops(substituted, env))
+    env.unbind(loop.var)
+    return body
+
+
+def _substitute(stmt: cn.Statement, var: str, value: int) -> cn.Statement:
+    """Replace references to the induction variable *var* with *value*."""
+    if isinstance(stmt, cn.Assign):
+        return cn.Assign(
+            target=_substitute_expr(stmt.target, var, value),
+            value=_substitute_expr(stmt.value, var, value),
+            lineno=stmt.lineno,
+        )
+    if isinstance(stmt, cn.AugAssign):
+        return cn.AugAssign(
+            target=_substitute_expr(stmt.target, var, value),
+            op=stmt.op,
+            value=_substitute_expr(stmt.value, var, value),
+            lineno=stmt.lineno,
+        )
+    if isinstance(stmt, cn.ExprStatement):
+        return cn.ExprStatement(
+            value=_substitute_expr(stmt.value, var, value), lineno=stmt.lineno
+        )
+    if isinstance(stmt, cn.IfElse):
+        return cn.IfElse(
+            condition=_substitute_expr(stmt.condition, var, value),
+            body=[_substitute(s, var, value) for s in stmt.body],
+            orelse=[_substitute(s, var, value) for s in stmt.orelse],
+            lineno=stmt.lineno,
+        )
+    if isinstance(stmt, cn.ForLoop):
+        return cn.ForLoop(
+            var=stmt.var,
+            start=_substitute_expr(stmt.start, var, value),
+            stop=_substitute_expr(stmt.stop, var, value),
+            step=_substitute_expr(stmt.step, var, value),
+            body=[_substitute(s, var, value) for s in stmt.body]
+            if stmt.var != var
+            else [s for s in stmt.body],
+            lineno=stmt.lineno,
+        )
+    if isinstance(stmt, cn.DeleteStatement):
+        return cn.DeleteStatement(
+            args=[_substitute_expr(a, var, value) for a in stmt.args],
+            lineno=stmt.lineno,
+        )
+    return stmt
+
+
+def _substitute_expr(expr: cn.Expr, var: str, value: int) -> cn.Expr:
+    if isinstance(expr, cn.Name) and expr.ident == var:
+        return cn.Constant(value)
+    if isinstance(expr, cn.BinOp):
+        return cn.BinOp(
+            op=expr.op,
+            left=_substitute_expr(expr.left, var, value),
+            right=_substitute_expr(expr.right, var, value),
+        )
+    if isinstance(expr, cn.UnaryOp):
+        return cn.UnaryOp(op=expr.op, operand=_substitute_expr(expr.operand, var, value))
+    if isinstance(expr, cn.Compare):
+        return cn.Compare(
+            op=expr.op,
+            left=_substitute_expr(expr.left, var, value),
+            right=_substitute_expr(expr.right, var, value),
+        )
+    if isinstance(expr, cn.BoolOp):
+        return cn.BoolOp(
+            op=expr.op, values=[_substitute_expr(v, var, value) for v in expr.values]
+        )
+    if isinstance(expr, cn.Call):
+        return cn.Call(
+            func=expr.func,
+            args=[_substitute_expr(a, var, value) for a in expr.args],
+            kwargs=dict(expr.kwargs),
+        )
+    if isinstance(expr, cn.IndexRef):
+        return cn.IndexRef(
+            base=_substitute_expr(expr.base, var, value),
+            index=_substitute_expr(expr.index, var, value),
+        )
+    if isinstance(expr, cn.ListExpr):
+        return cn.ListExpr(elements=[_substitute_expr(e, var, value) for e in expr.elements])
+    return expr

@@ -1,0 +1,158 @@
+"""Constant folding, expression evaluation and loop unrolling on the AST.
+
+The frontend must unroll every loop before lowering (the IR has no control
+flow), which requires evaluating loop bounds — and anything they depend on —
+at compile time.  :class:`ConstantEnv` tracks the compile-time value bindings
+(template constants, loop induction variables) and :func:`try_eval` evaluates
+an expression against them, returning ``None`` when the value is not a
+compile-time constant.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.exceptions import UnrollError
+from repro.lang import ast_nodes as cn
+
+
+class ConstantEnv:
+    """A stack of compile-time constant bindings."""
+
+    def __init__(self, initial: Optional[Dict[str, object]] = None) -> None:
+        self._bindings: Dict[str, object] = dict(initial or {})
+
+    def bind(self, name: str, value: object) -> None:
+        self._bindings[name] = value
+
+    def unbind(self, name: str) -> None:
+        self._bindings.pop(name, None)
+
+    def get(self, name: str) -> Optional[object]:
+        return self._bindings.get(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._bindings
+
+    def copy(self) -> "ConstantEnv":
+        return ConstantEnv(self._bindings)
+
+    def as_dict(self) -> Dict[str, object]:
+        return dict(self._bindings)
+
+
+_BIN_EVAL = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": lambda a, b: a / b if isinstance(a, float) or isinstance(b, float) else a // b,
+    "//": lambda a, b: a // b,
+    "%": lambda a, b: a % b,
+    "&": lambda a, b: a & b,
+    "|": lambda a, b: a | b,
+    "^": lambda a, b: a ^ b,
+    "<<": lambda a, b: a << b,
+    ">>": lambda a, b: a >> b,
+    "**": lambda a, b: a ** b,
+}
+
+_CMP_EVAL = {
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+}
+
+
+def try_eval(expr: cn.Expr, env: ConstantEnv) -> Optional[object]:
+    """Evaluate *expr* to a Python value if it is a compile-time constant.
+
+    Returns ``None`` when the expression depends on runtime data (packet
+    header fields, table lookups, ...).  Note the value ``None`` itself is a
+    valid constant (``vals != None``); callers that need to distinguish should
+    use :func:`is_constant`.
+    """
+    if isinstance(expr, cn.Constant):
+        return expr.value
+    if isinstance(expr, cn.Name):
+        return env.get(expr.ident) if expr.ident in env else None
+    if isinstance(expr, cn.BinOp):
+        left = try_eval(expr.left, env)
+        right = try_eval(expr.right, env)
+        if left is None or right is None:
+            return None
+        try:
+            return _BIN_EVAL[expr.op](left, right)
+        except (ZeroDivisionError, TypeError, KeyError):
+            return None
+    if isinstance(expr, cn.UnaryOp):
+        value = try_eval(expr.operand, env)
+        if value is None:
+            return None
+        if expr.op == "-":
+            return -value
+        if expr.op == "~":
+            return ~value
+        if expr.op == "not":
+            return not value
+        return value
+    if isinstance(expr, cn.Compare):
+        left = try_eval(expr.left, env)
+        right = try_eval(expr.right, env)
+        if left is None or right is None:
+            return None
+        func = _CMP_EVAL.get(expr.op)
+        return func(left, right) if func else None
+    if isinstance(expr, cn.Call):
+        args = [try_eval(a, env) for a in expr.args]
+        if any(a is None for a in args):
+            return None
+        if expr.func == "len" and len(args) == 1 and hasattr(args[0], "__len__"):
+            return len(args[0])
+        if expr.func in ("min", "max", "sum", "abs", "pow", "round") and args:
+            try:
+                return getattr(__builtins__, expr.func)(*args)  # type: ignore[arg-type]
+            except (AttributeError, TypeError):
+                import builtins
+
+                return getattr(builtins, expr.func)(*args)
+        return None
+    return None
+
+
+def is_constant(expr: cn.Expr, env: ConstantEnv) -> bool:
+    """True if *expr* can be fully evaluated at compile time."""
+    if isinstance(expr, cn.Constant):
+        return True
+    if isinstance(expr, cn.Name):
+        return expr.ident in env
+    if isinstance(expr, (cn.BinOp, cn.Compare)):
+        return is_constant(expr.left, env) and is_constant(expr.right, env)
+    if isinstance(expr, cn.UnaryOp):
+        return is_constant(expr.operand, env)
+    if isinstance(expr, cn.Call):
+        return all(is_constant(a, env) for a in expr.args)
+    return False
+
+
+def eval_required_int(expr: cn.Expr, env: ConstantEnv, what: str) -> int:
+    """Evaluate *expr* to an int, raising :class:`UnrollError` otherwise."""
+    value = try_eval(expr, env)
+    if value is None or not isinstance(value, (int, float)):
+        raise UnrollError(
+            f"{what} must be a compile-time constant integer "
+            f"(got non-constant expression {expr!r})"
+        )
+    return int(value)
+
+
+def unroll_range(loop: cn.ForLoop, env: ConstantEnv) -> List[int]:
+    """Return the concrete iteration values of a ``for ... in range`` loop."""
+    start = eval_required_int(loop.start, env, f"loop start at line {loop.lineno}")
+    stop = eval_required_int(loop.stop, env, f"loop bound at line {loop.lineno}")
+    step = eval_required_int(loop.step, env, f"loop step at line {loop.lineno}")
+    if step == 0:
+        raise UnrollError(f"loop at line {loop.lineno} has step 0")
+    return list(range(start, stop, step))

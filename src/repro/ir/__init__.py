@@ -1,0 +1,38 @@
+"""Platform-independent intermediate representation (IR) for ClickINC.
+
+The IR is the hand-off point between the compiler frontend (which lowers
+Python-style user programs) and everything downstream: block construction,
+placement, synthesis and chip-specific backends.
+
+Key pieces
+----------
+* :class:`~repro.ir.instructions.Instruction` — a single IR instruction with
+  an opcode, destination, operands and optional guard predicate.
+* :class:`~repro.ir.instructions.Opcode` / :class:`~repro.ir.instructions.InstrClass`
+  — the instruction set (paper Fig. 17 / Table 8) and the device-capability
+  classes used for placement feasibility (paper Table 9).
+* :class:`~repro.ir.program.IRProgram` — an ordered, sequentially executed
+  instruction list plus state declarations and header fields.
+"""
+
+from repro.ir.instructions import (
+    InstrClass,
+    Instruction,
+    Opcode,
+    StateKind,
+    StateDecl,
+    classify,
+)
+from repro.ir.program import IRProgram
+from repro.ir.verify import verify_program
+
+__all__ = [
+    "InstrClass",
+    "Instruction",
+    "Opcode",
+    "StateKind",
+    "StateDecl",
+    "IRProgram",
+    "classify",
+    "verify_program",
+]

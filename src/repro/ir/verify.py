@@ -1,0 +1,73 @@
+"""Structural verification of IR programs.
+
+Verification catches malformed IR before it hits placement or the emulator:
+undeclared states, use-before-def of temporaries, declarations after use and
+illegal guard references.  The frontend runs :func:`verify_program` at the end
+of every compilation.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.exceptions import IRError
+from repro.ir.instructions import Instruction, Opcode
+from repro.ir.program import IRProgram
+
+
+def verify_program(program: IRProgram, strict: bool = True) -> List[str]:
+    """Verify *program* and return a list of diagnostic messages.
+
+    With ``strict=True`` (the default) any diagnostic raises
+    :class:`~repro.exceptions.IRError`; otherwise the list is returned to the
+    caller for reporting.
+    """
+    diagnostics: List[str] = []
+    defined = set()
+    header_prefix = "hdr."
+
+    # header fields and constants are always available
+    for name in program.header_fields:
+        defined.add(f"{header_prefix}{name}")
+    defined.update(program.states.keys())
+
+    for instr in program:
+        diagnostics.extend(_check_instruction(program, instr, defined))
+        for written in instr.writes():
+            defined.add(written)
+
+    if strict and diagnostics:
+        raise IRError(
+            f"IR verification failed for {program.name!r}:\n  " + "\n  ".join(diagnostics)
+        )
+    return diagnostics
+
+
+def _check_instruction(program: IRProgram, instr: Instruction, defined: set) -> List[str]:
+    issues: List[str] = []
+    if instr.state is not None and instr.state not in program.states:
+        issues.append(f"uid {instr.uid}: undeclared state {instr.state!r}")
+    if instr.is_stateful and instr.state is None:
+        issues.append(f"uid {instr.uid}: stateful opcode {instr.opcode.value} without state")
+    if instr.guard is not None and not _is_known(instr.guard, defined):
+        issues.append(f"uid {instr.uid}: guard {instr.guard!r} used before definition")
+    for operand in instr.operands:
+        if isinstance(operand, str) and not _is_known(operand, defined):
+            issues.append(
+                f"uid {instr.uid}: operand {operand!r} used before definition"
+            )
+    if instr.opcode is Opcode.SELECT and len(instr.operands) != 3:
+        issues.append(f"uid {instr.uid}: select needs exactly 3 operands")
+    return issues
+
+
+def _is_known(name: str, defined: set) -> bool:
+    """A variable is known if previously defined or a header / constant ref."""
+    if name in defined:
+        return True
+    if name.startswith("hdr."):
+        # header sub-fields (e.g. hdr.feat[3]) are resolved by the emulator
+        return True
+    if name.startswith("meta.") or name.startswith("const."):
+        return True
+    return False

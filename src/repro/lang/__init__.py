@@ -1,0 +1,73 @@
+"""The ClickINC user-facing language (paper §4.1).
+
+Users write INC programs in a Python-style syntax with INC-specific objects
+(``Array``, ``Table``, ``Hash``, ``Sketch``, ``Seq``, ``Crypto``) and
+primitives (``get``, ``write``, ``clear``, ``count``, ``del``, ``drop``,
+``fwd``/``forward``, ``copy``).  This package provides:
+
+* :mod:`repro.lang.objects` — declarations of the INC object types.
+* :mod:`repro.lang.ast_nodes` — the ClickINC abstract syntax tree.
+* :mod:`repro.lang.parser` — a parser from Python-style source to that AST,
+  built on the CPython :mod:`ast` module, which rejects anything outside the
+  ClickINC grammar (paper Fig. 5).
+* :mod:`repro.lang.profile` — application configuration profiles (Fig. 6).
+* :mod:`repro.lang.templates` — the KVS, MLAgg and DQAcc templates
+  (Appendix A.1) plus the sparse-gradient extension of Fig. 7.
+"""
+
+from repro.lang.ast_nodes import (
+    Assign,
+    AugAssign,
+    BinOp,
+    Call,
+    Compare,
+    Constant,
+    FieldRef,
+    ForLoop,
+    IfElse,
+    IndexRef,
+    Module,
+    Name,
+    ObjectDecl,
+    Statement,
+    UnaryOp,
+)
+from repro.lang.objects import (
+    ArraySpec,
+    CryptoSpec,
+    HashSpec,
+    ObjectKind,
+    SeqSpec,
+    SketchSpec,
+    TableSpec,
+)
+from repro.lang.parser import parse_program
+from repro.lang.profile import Profile, TrafficSpec
+
+__all__ = [
+    "Assign",
+    "AugAssign",
+    "BinOp",
+    "Call",
+    "Compare",
+    "Constant",
+    "FieldRef",
+    "ForLoop",
+    "IfElse",
+    "IndexRef",
+    "Module",
+    "Name",
+    "ObjectDecl",
+    "Statement",
+    "UnaryOp",
+    "ArraySpec",
+    "CryptoSpec",
+    "HashSpec",
+    "ObjectKind",
+    "SeqSpec",
+    "SketchSpec",
+    "TableSpec",
+    "parse_program",
+    "Profile",
+    "TrafficSpec",
+]

@@ -1,0 +1,293 @@
+"""INC object types of the ClickINC language (paper Fig. 5, "Object O").
+
+Objects are the collective data types a user program can declare: stateful
+arrays, match tables, hash functions, sequences, sketches and crypto units.
+Each spec knows how to describe itself as IR state declarations so the
+frontend can lower object accesses to stateful IR instructions.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.exceptions import LanguageError
+from repro.ir.instructions import StateDecl, StateKind
+
+
+class ObjectKind(str, enum.Enum):
+    """Kinds of INC objects available to user programs."""
+
+    ARRAY = "Array"
+    TABLE = "Table"
+    HASH = "Hash"
+    SEQ = "Seq"
+    SKETCH = "Sketch"
+    CRYPTO = "Crypto"
+
+
+@dataclass
+class ArraySpec:
+    """A stateful register array: ``Array(row=3, size=65536, w=32)``."""
+
+    name: str
+    rows: int = 1
+    size: int = 1024
+    width: int = 32
+
+    def __post_init__(self) -> None:
+        if self.rows <= 0 or self.size <= 0 or self.width <= 0:
+            raise LanguageError(
+                f"Array {self.name!r}: row/size/w must all be positive"
+            )
+
+    def state_decls(self) -> List[StateDecl]:
+        return [
+            StateDecl(
+                name=self.name,
+                kind=StateKind.REGISTER_ARRAY,
+                rows=self.rows,
+                size=self.size,
+                width=self.width,
+            )
+        ]
+
+    @property
+    def total_bits(self) -> int:
+        return self.rows * self.size * self.width
+
+
+@dataclass
+class TableSpec:
+    """A match table: ``Table(type="exact", keys=hdr.key, vals=hdr.val)``.
+
+    ``match_type`` is one of ``exact``, ``ternary``, ``lpm`` or ``direct``;
+    ``stateful`` tables can be written from the data plane (cache insertion).
+    """
+
+    name: str
+    match_type: str = "exact"
+    key_width: int = 32
+    value_width: int = 32
+    size: int = 1024
+    stateful: bool = True
+
+    _VALID_TYPES = ("exact", "ternary", "lpm", "direct")
+
+    def __post_init__(self) -> None:
+        if self.match_type not in self._VALID_TYPES:
+            raise LanguageError(
+                f"Table {self.name!r}: unknown match type {self.match_type!r}; "
+                f"expected one of {self._VALID_TYPES}"
+            )
+        if self.size <= 0 or self.key_width <= 0 or self.value_width <= 0:
+            raise LanguageError(f"Table {self.name!r}: sizes must be positive")
+
+    def state_decls(self) -> List[StateDecl]:
+        kind = {
+            "exact": StateKind.EXACT_TABLE,
+            "ternary": StateKind.TERNARY_TABLE,
+            "lpm": StateKind.TERNARY_TABLE,
+            "direct": StateKind.DIRECT_TABLE,
+        }[self.match_type]
+        return [
+            StateDecl(
+                name=self.name,
+                kind=kind,
+                rows=1,
+                size=self.size,
+                width=self.value_width,
+                key_width=self.key_width,
+            )
+        ]
+
+    @property
+    def total_bits(self) -> int:
+        return self.size * (self.key_width + self.value_width)
+
+
+@dataclass
+class HashSpec:
+    """A hash function: ``Hash(type="crc_16", key=hdr.key)``.
+
+    Hash objects are stateless; they only consume a hash unit when used.
+    ``ceil`` optionally bounds the output to ``[0, ceil)`` (used by MLAgg for
+    aggregator indexing).
+    """
+
+    name: str
+    algorithm: str = "crc_16"
+    key_field: Optional[str] = None
+    ceil: Optional[int] = None
+
+    _VALID_ALGOS = ("crc_8", "crc_16", "crc_32", "identity", "xor_16")
+
+    def __post_init__(self) -> None:
+        if self.algorithm not in self._VALID_ALGOS:
+            raise LanguageError(
+                f"Hash {self.name!r}: unknown algorithm {self.algorithm!r}; "
+                f"expected one of {self._VALID_ALGOS}"
+            )
+        if self.ceil is not None and self.ceil <= 0:
+            raise LanguageError(f"Hash {self.name!r}: ceil must be positive")
+
+    @property
+    def output_width(self) -> int:
+        return {"crc_8": 8, "crc_16": 16, "crc_32": 32, "identity": 32, "xor_16": 16}[
+            self.algorithm
+        ]
+
+    def state_decls(self) -> List[StateDecl]:
+        return []
+
+
+@dataclass
+class SeqSpec:
+    """A sequence tracker: per-flow monotonically increasing sequence numbers."""
+
+    name: str
+    size: int = 1024
+    width: int = 32
+
+    def __post_init__(self) -> None:
+        if self.size <= 0 or self.width <= 0:
+            raise LanguageError(f"Seq {self.name!r}: size/width must be positive")
+
+    def state_decls(self) -> List[StateDecl]:
+        return [
+            StateDecl(
+                name=self.name,
+                kind=StateKind.REGISTER_ARRAY,
+                rows=1,
+                size=self.size,
+                width=self.width,
+            )
+        ]
+
+
+@dataclass
+class SketchSpec:
+    """A sketch: ``Sketch(type="count-min", keys=hdr.key)`` or bloom-filter.
+
+    A count-min sketch expands into ``rows`` register arrays each indexed by
+    an independent hash; a bloom filter is a single bit array with ``rows``
+    hash probes.
+    """
+
+    name: str
+    sketch_type: str = "count-min"
+    rows: int = 3
+    size: int = 65536
+    width: int = 32
+    key_field: Optional[str] = None
+
+    _VALID_TYPES = ("count-min", "bloom-filter")
+
+    def __post_init__(self) -> None:
+        if self.sketch_type not in self._VALID_TYPES:
+            raise LanguageError(
+                f"Sketch {self.name!r}: unknown type {self.sketch_type!r}; "
+                f"expected one of {self._VALID_TYPES}"
+            )
+        if self.rows <= 0 or self.size <= 0:
+            raise LanguageError(f"Sketch {self.name!r}: rows/size must be positive")
+        if self.sketch_type == "bloom-filter":
+            self.width = 1
+
+    def state_decls(self) -> List[StateDecl]:
+        return [
+            StateDecl(
+                name=self.name,
+                kind=StateKind.REGISTER_ARRAY,
+                rows=self.rows,
+                size=self.size,
+                width=self.width,
+            )
+        ]
+
+    @property
+    def total_bits(self) -> int:
+        return self.rows * self.size * self.width
+
+
+@dataclass
+class CryptoSpec:
+    """A crypto unit: ``Crypto(type="aes", key=...)``.
+
+    Only FPGA (AES) and NFP (ECS) devices support crypto (paper Table 8), so
+    declaring one constrains placement.
+    """
+
+    name: str
+    algorithm: str = "aes"
+    key_width: int = 128
+
+    _VALID_ALGOS = ("aes", "ecs")
+
+    def __post_init__(self) -> None:
+        if self.algorithm not in self._VALID_ALGOS:
+            raise LanguageError(
+                f"Crypto {self.name!r}: unknown algorithm {self.algorithm!r}"
+            )
+
+    def state_decls(self) -> List[StateDecl]:
+        return []
+
+
+#: Union type of all object specs (for isinstance checks and typing).
+AnyObjectSpec = (ArraySpec, TableSpec, HashSpec, SeqSpec, SketchSpec, CryptoSpec)
+
+
+def make_object(kind: ObjectKind, name: str, **kwargs) -> object:
+    """Factory used by the parser to build an object spec from keyword args.
+
+    Keyword names follow the user-facing language (``row``, ``size``, ``w``,
+    ``type``, ``keys``, ``vals``, ``key``, ``ceil``) and are mapped onto the
+    spec dataclass fields here, in one place.
+    """
+    if kind is ObjectKind.ARRAY:
+        return ArraySpec(
+            name=name,
+            rows=int(kwargs.get("row", kwargs.get("rows", 1))),
+            size=int(kwargs.get("size", 1024)),
+            width=int(kwargs.get("w", kwargs.get("width", 32))),
+        )
+    if kind is ObjectKind.TABLE:
+        return TableSpec(
+            name=name,
+            match_type=str(kwargs.get("type", "exact")),
+            key_width=int(kwargs.get("key_width", 32)),
+            value_width=int(kwargs.get("value_width", 32)),
+            size=int(kwargs.get("size", 1024)),
+            stateful=bool(kwargs.get("stateful", True)),
+        )
+    if kind is ObjectKind.HASH:
+        return HashSpec(
+            name=name,
+            algorithm=str(kwargs.get("type", "crc_16")),
+            key_field=kwargs.get("key"),
+            ceil=kwargs.get("ceil"),
+        )
+    if kind is ObjectKind.SEQ:
+        return SeqSpec(
+            name=name,
+            size=int(kwargs.get("size", 1024)),
+            width=int(kwargs.get("w", kwargs.get("width", 32))),
+        )
+    if kind is ObjectKind.SKETCH:
+        return SketchSpec(
+            name=name,
+            sketch_type=str(kwargs.get("type", "count-min")),
+            rows=int(kwargs.get("row", kwargs.get("rows", 3))),
+            size=int(kwargs.get("size", 65536)),
+            width=int(kwargs.get("w", kwargs.get("width", 32))),
+            key_field=kwargs.get("keys"),
+        )
+    if kind is ObjectKind.CRYPTO:
+        return CryptoSpec(
+            name=name,
+            algorithm=str(kwargs.get("type", "aes")),
+            key_width=int(kwargs.get("key_width", 128)),
+        )
+    raise LanguageError(f"unknown INC object kind {kind!r}")

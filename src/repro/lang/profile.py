@@ -1,0 +1,186 @@
+"""Application configuration profiles (paper Fig. 6, Appendix A.2).
+
+A profile accompanies a template-based program and carries four fields:
+the template App id, the performance requirements, the per-client traffic
+distribution, and the packet format.  The frontend uses profiles to configure
+template parameters (Appendix A.3), and the placement layer uses the traffic
+distribution to weigh paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.exceptions import ProfileError
+
+#: Template App ids recognised by the library (paper Appendix A / Table 10).
+KNOWN_APPS = ("KVS", "MLAgg", "DQAcc", "OPSketch", "DDoSAD")
+
+
+@dataclass
+class TrafficSpec:
+    """Upper limit of querying frequency per client, in packets per second."""
+
+    client_rates_pps: Dict[str, float] = field(default_factory=dict)
+
+    def total_pps(self) -> float:
+        return float(sum(self.client_rates_pps.values()))
+
+    def rate_for(self, client: str) -> float:
+        return float(self.client_rates_pps.get(client, 0.0))
+
+    @classmethod
+    def uniform(cls, clients: List[str], pps: float) -> "TrafficSpec":
+        return cls({client: pps for client in clients})
+
+
+@dataclass
+class PacketFormat:
+    """Packet format description: the standard stack plus app-specific headers."""
+
+    network: str = "ethernet/ipv4/udp"
+    app_fields: Dict[str, int] = field(default_factory=dict)  # name -> bit width
+
+    def header_bits(self) -> int:
+        base = {"ethernet": 112, "ipv4": 160, "ipv6": 320, "udp": 64, "tcp": 160}
+        total = sum(base.get(layer, 0) for layer in self.network.split("/"))
+        return total + sum(self.app_fields.values())
+
+
+@dataclass
+class Profile:
+    """A full configuration profile for a template-based INC program.
+
+    Attributes
+    ----------
+    app:
+        Template id (one of :data:`KNOWN_APPS`).
+    performance:
+        Free-form performance requirements, e.g. ``{"max_hit_acc": [0.7, 0.3],
+        "depth": 1000}`` for KVS or ``{"precision_dec": 3, "is_sparse": 0}``
+        for MLAgg.
+    traffic:
+        Per-client traffic rates.
+    packet_format:
+        Wire format of the application traffic.
+    user:
+        The submitting user's id; used for isolation annotations.
+    """
+
+    app: str
+    performance: Dict[str, object] = field(default_factory=dict)
+    traffic: TrafficSpec = field(default_factory=TrafficSpec)
+    packet_format: PacketFormat = field(default_factory=PacketFormat)
+    user: str = "user0"
+
+    def __post_init__(self) -> None:
+        if self.app not in KNOWN_APPS:
+            raise ProfileError(
+                f"unknown template app {self.app!r}; expected one of {KNOWN_APPS}"
+            )
+
+    # ------------------------------------------------------------------ #
+    # typed accessors with defaults per template
+    # ------------------------------------------------------------------ #
+    def get_perf(self, key: str, default=None):
+        return self.performance.get(key, default)
+
+    def require_perf(self, key: str):
+        if key not in self.performance:
+            raise ProfileError(
+                f"profile for {self.app!r} is missing performance key {key!r}"
+            )
+        return self.performance[key]
+
+    def validate_for_template(self) -> None:
+        """Check the profile carries sane values for its template."""
+        if self.app == "KVS":
+            depth = self.get_perf("depth", 1000)
+            if not isinstance(depth, (int, float)) or depth <= 0:
+                raise ProfileError("KVS profile: 'depth' must be a positive number")
+            weights = self.get_perf("max_hit_acc", [0.7, 0.3])
+            if len(weights) != 2 or abs(sum(weights) - 1.0) > 1e-6:
+                raise ProfileError(
+                    "KVS profile: 'max_hit_acc' must be two weights summing to 1"
+                )
+        elif self.app == "MLAgg":
+            depth = self.get_perf("depth", 500)
+            if depth <= 0:
+                raise ProfileError("MLAgg profile: 'depth' must be positive")
+            precision = self.get_perf("precision_dec", 3)
+            if precision < 0:
+                raise ProfileError("MLAgg profile: 'precision_dec' must be >= 0")
+        elif self.app == "DQAcc":
+            depth = self.get_perf("c_depth", 1500)
+            length = self.get_perf("c_len", 8)
+            if depth <= 0 or length <= 0:
+                raise ProfileError("DQAcc profile: cache dimensions must be positive")
+
+    # ------------------------------------------------------------------ #
+    # serialisation
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> dict:
+        return {
+            "app": self.app,
+            "performance": dict(self.performance),
+            "traffic frequency": dict(self.traffic.client_rates_pps),
+            "packet_format": {
+                "network": self.packet_format.network,
+                **{k: f"bit_{v}" for k, v in self.packet_format.app_fields.items()},
+            },
+            "user": self.user,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Profile":
+        traffic = TrafficSpec(dict(data.get("traffic frequency", {})))
+        pf_data = dict(data.get("packet_format", {}))
+        network = pf_data.pop("network", "ethernet/ipv4/udp")
+        app_fields = {}
+        for key, value in pf_data.items():
+            if isinstance(value, str) and value.startswith("bit_"):
+                app_fields[key] = int(value.split("_", 1)[1])
+            elif isinstance(value, int):
+                app_fields[key] = value
+        return cls(
+            app=data["app"],
+            performance=dict(data.get("performance", {})),
+            traffic=traffic,
+            packet_format=PacketFormat(network=network, app_fields=app_fields),
+            user=data.get("user", "user0"),
+        )
+
+
+def default_profile(app: str, user: str = "user0") -> Profile:
+    """Return a sensible default profile for *app* (paper Table 10 defaults)."""
+    if app == "KVS":
+        return Profile(
+            app="KVS",
+            performance={"max_hit_acc": [0.7, 0.3], "depth": 5000},
+            traffic=TrafficSpec({"c1": 10e6, "c2": 20e6}),
+            packet_format=PacketFormat(
+                app_fields={"op": 8, "key": 128, "value_0": 32}
+            ),
+            user=user,
+        )
+    if app == "MLAgg":
+        return Profile(
+            app="MLAgg",
+            performance={"precision_dec": 3, "is_sparse": 0, "depth": 5000,
+                         "dim": 24, "workers": 8},
+            traffic=TrafficSpec({"w1": 5e6, "w2": 5e6}),
+            packet_format=PacketFormat(
+                app_fields={"op": 8, "seq": 32, "bitmap": 32, "data": 32 * 24}
+            ),
+            user=user,
+        )
+    if app == "DQAcc":
+        return Profile(
+            app="DQAcc",
+            performance={"c_depth": 5000, "c_len": 8},
+            traffic=TrafficSpec({"c1": 10e6}),
+            packet_format=PacketFormat(app_fields={"op": 8, "value": 32}),
+            user=user,
+        )
+    raise ProfileError(f"no default profile for app {app!r}")

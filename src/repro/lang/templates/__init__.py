@@ -1,0 +1,29 @@
+"""Built-in INC program templates (paper Appendix A.1).
+
+The service provider ships common INC programs as templates that users
+instantiate via a configuration :class:`~repro.lang.profile.Profile`:
+
+* :class:`~repro.lang.templates.kvs.KVSTemplate` — in-network key-value cache
+  with a heavy-hitter detector for missed queries (NetCache-style).
+* :class:`~repro.lang.templates.mlagg.MLAggTemplate` — in-network ML gradient
+  aggregation with aggregator arrays, worker bitmaps and overflow handling.
+* :class:`~repro.lang.templates.dqacc.DQAccTemplate` — SQL ``DISTINCT``
+  acceleration with a hash-indexed rolling cache.
+* :func:`~repro.lang.templates.mlagg.sparse_mlagg_source` — the user-extended
+  sparse gradient aggregation program of paper Fig. 7.
+"""
+
+from repro.lang.templates.base import Template, TemplateRegistry, get_template
+from repro.lang.templates.kvs import KVSTemplate
+from repro.lang.templates.mlagg import MLAggTemplate, sparse_mlagg_source
+from repro.lang.templates.dqacc import DQAccTemplate
+
+__all__ = [
+    "Template",
+    "TemplateRegistry",
+    "get_template",
+    "KVSTemplate",
+    "MLAggTemplate",
+    "DQAccTemplate",
+    "sparse_mlagg_source",
+]

@@ -1,0 +1,61 @@
+"""SQL DISTINCT acceleration (DQAcc) template.
+
+The switch keeps a hash-indexed rolling cache of recently seen values
+(approximating LRU with a rolling replacement pointer).  A query whose value
+is already present in the cache is filtered (dropped) before it reaches the
+database server; new values are inserted and forwarded (paper Appendix A.1).
+"""
+
+from __future__ import annotations
+
+from repro.lang.profile import Profile
+from repro.lang.templates.base import Template, TemplateOutput, TemplateRegistry
+
+_DQACC_SOURCE = """\
+from Funclib import *
+rolling = Array(row=CACHE_LEN, size=CACHE_DEPTH, w=VALUE_WIDTH)
+roll_ptr = Array(row=1, size=CACHE_DEPTH, w=8)
+hash_f = Hash(type="crc_16", key=hdr.value, ceil=CACHE_DEPTH)
+slot = get(hash_f, hdr.value)
+seen = 0
+for i in range(CACHE_LEN):
+    cached = get(rolling, slot, i)
+    if cached == hdr.value:
+        seen = 1
+if seen == 1:
+    drop()
+else:
+    ptr = get(roll_ptr, slot)
+    write(rolling, slot, hdr.value, ptr)
+    nxt = (ptr + 1) % CACHE_LEN
+    write(roll_ptr, slot, nxt)
+    forward(hdr)
+"""
+
+
+@TemplateRegistry.register
+class DQAccTemplate(Template):
+    """Render the DQAcc template from a profile.
+
+    Configurable options (paper Appendix A.1): cache depth (``c_depth``),
+    cache associativity / length (``c_len``), value width and the hash
+    algorithm used for slot selection.
+    """
+
+    app_id = "DQAcc"
+
+    def render(self, profile: Profile) -> TemplateOutput:
+        self.validate(profile)
+        depth = int(profile.get_perf("c_depth", 5000))
+        length = int(profile.get_perf("c_len", 8))
+        value_width = int(profile.packet_format.app_fields.get("value", 32))
+
+        constants = {
+            "CACHE_DEPTH": depth,
+            "CACHE_LEN": length,
+            "VALUE_WIDTH": value_width,
+        }
+        header_fields = {"op": 8, "value": value_width}
+        return TemplateOutput(
+            source=_DQACC_SOURCE, constants=constants, header_fields=header_fields
+        )

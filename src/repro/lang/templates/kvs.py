@@ -1,0 +1,87 @@
+"""Key-value store (KVS) template — a NetCache-style in-network cache.
+
+The switch-side program keeps an exact-match cache of hot keys, a per-entry
+hit counter, and a heavy-hitter detector (count-min sketch plus bloom filter)
+for queries that miss the cache, so the control plane can promote hot keys
+(paper Appendix A.1, Fig. 15).
+"""
+
+from __future__ import annotations
+
+from repro.lang.profile import Profile
+from repro.lang.templates.base import Template, TemplateOutput, TemplateRegistry
+
+_KVS_SOURCE = """\
+from Funclib import *
+cache = Table(type="exact", keys=hdr.key, vals=hdr.val, size=CACHE_DEPTH,
+              key_width=KEY_WIDTH, value_width=VALUE_WIDTH, stateful=STATEFUL_CACHE)
+hits = Array(row=1, size=CACHE_DEPTH, w=32)
+cms = Sketch(type="count-min", keys=hdr.key, row=CMS_ROWS, size=CMS_SIZE, w=32)
+bf = Sketch(type="bloom-filter", keys=hdr.key, row=BF_ROWS, size=BF_SIZE)
+if hdr.op == REQUEST:
+    vals = get(cache, hdr.key)
+    if vals != None:
+        count(hits, hdr.key, 1)
+        back(hdr={"op": REPLY, "vals": "vals"})
+    else:
+        count(cms, hdr.key, 1)
+        if get(cms, hdr.key) > TH:
+            write(bf, hdr.key, 1)
+            copyto("CPU", hdr.key)
+        forward(hdr)
+elif hdr.op == UPDATE:
+    write(cache, hdr.key, hdr.vals)
+    drop()
+else:
+    forward(hdr)
+"""
+
+
+@TemplateRegistry.register
+class KVSTemplate(Template):
+    """Render the KVS template from a profile.
+
+    Configurable options (paper Appendix A.1): cache depth, count-min sketch
+    rows / size, bloom-filter rows / size, key and value widths, and the
+    heavy-hitter threshold.  Resource-related parameters omitted from the
+    profile are filled in by :mod:`repro.apps.autoconfig`.
+    """
+
+    app_id = "KVS"
+
+    def render(self, profile: Profile) -> TemplateOutput:
+        self.validate(profile)
+        depth = int(profile.get_perf("depth", 5000))
+        cms_rows = int(profile.get_perf("cms_rows", 3))
+        cms_size = int(profile.get_perf("cms_size", 1024))
+        bf_rows = int(profile.get_perf("bf_rows", 3))
+        bf_size = int(profile.get_perf("bf_size", 8192))
+        threshold = int(profile.get_perf("hh_threshold", 128))
+        key_width = int(profile.packet_format.app_fields.get("key", 128))
+        value_width = int(profile.packet_format.app_fields.get("value_0", 32))
+        value_dim = int(profile.get_perf("value_dim", 16))
+        # A data-plane-writable (stateful) cache needs an FPGA / smartNIC;
+        # the default NetCache-style cache is read in the data plane and
+        # updated through the control plane, so it fits on switch ASICs.
+        stateful_cache = bool(profile.get_perf("stateful_cache", False))
+
+        constants = {
+            "STATEFUL_CACHE": stateful_cache,
+            "CACHE_DEPTH": depth,
+            "CMS_ROWS": cms_rows,
+            "CMS_SIZE": cms_size,
+            "BF_ROWS": bf_rows,
+            "BF_SIZE": bf_size,
+            "TH": threshold,
+            "KEY_WIDTH": key_width,
+            "VALUE_WIDTH": value_width * value_dim,
+        }
+        header_fields = {
+            "op": 8,
+            "key": key_width,
+            "val": value_width * value_dim,
+            "vals": value_width * value_dim,
+        }
+        return TemplateOutput(
+            source=_KVS_SOURCE, constants=constants, header_fields=header_fields
+        )

@@ -1,0 +1,157 @@
+"""ML gradient-aggregation (MLAgg) template and the sparse-gradient extension.
+
+The switch-side structure (paper Appendix A.1, Fig. 16) keeps an aggregator
+array indexed by a hash of the job sequence number, a worker bitmap, a
+validity flag array, and a stored-sequence array.  Workers send gradient
+packets; the switch accumulates each worker's contribution once, returns the
+aggregated result when all workers have reported, and mirrors overflowing
+values back to the end hosts for software aggregation.
+
+:func:`sparse_mlagg_source` reproduces the user program of paper Fig. 7: the
+user instantiates the MLAgg template and prepends sparse-block detection so
+all-zero blocks are dropped before aggregation.
+"""
+
+from __future__ import annotations
+
+from repro.lang.profile import Profile
+from repro.lang.templates.base import Template, TemplateOutput, TemplateRegistry
+
+_MLAGG_SOURCE = """\
+from Funclib import *
+agg_seq_t = Array(row=1, size=NUM_AGG, w=32)
+bitmap_t = Array(row=1, size=NUM_AGG, w=NUM_WORKER)
+agg_data_t = Array(row=VEC_DIM, size=NUM_AGG, w=32)
+valid_t = Array(row=1, size=NUM_AGG, w=1)
+hash_f = Hash(type="crc_16", key=hdr.seq, ceil=NUM_AGG)
+index = get(hash_f, hdr.seq)
+seq = get(agg_seq_t, index)
+isvalid = get(valid_t, index)
+delete = 0
+overflow = 0
+if hdr.op == ACK:
+    if isvalid and seq == hdr.seq:
+        delete = 1
+    forward(hdr)
+else:
+    if isvalid == 0 and hdr.overflow == 0:
+        write(agg_seq_t, index, hdr.seq)
+        write(bitmap_t, index, hdr.bitmap)
+        write(agg_data_t, index, hdr.data)
+        write(valid_t, index, 1)
+        drop()
+    elif seq == hdr.seq:
+        bitmap = get(bitmap_t, index)
+        if bitmap & hdr.bitmap == 0:
+            vals = get(agg_data_t, index)
+            new_vals = vals + hdr.data
+            if new_vals < 0:
+                overflow = 1
+                delete = 1
+            new_bit = bitmap | hdr.bitmap
+            if overflow:
+                mirror(hdr={"bitmap": "bitmap", "data": "vals", "overflow": 1})
+                forward(hdr)
+            elif new_bit == FULL_BITMAP:
+                back(hdr={"op": REQ, "bitmap": "new_bit", "data": "new_vals"})
+                delete = 1
+            else:
+                write(agg_data_t, index, new_vals)
+                write(bitmap_t, index, new_bit)
+                drop()
+        else:
+            forward(hdr)
+    else:
+        forward(hdr)
+if delete:
+    clear(agg_seq_t, index)
+    clear(bitmap_t, index)
+    clear(agg_data_t, index)
+    clear(valid_t, index)
+"""
+
+_SPARSE_MLAGG_SOURCE = """\
+from Funclib import *
+agg = MLAgg(NUM_AGG, VEC_DIM, IS_CONVERT, SCALE)
+for i in range(BLOCK_NUM):
+    sparse = 1
+    for j in range(BLOCK_SIZE):
+        index = BLOCK_NUM * i + j
+        if hdr.feat[index] != 0:
+            sparse = 0
+    if sparse == 1:
+        del(hdr.feat, i)
+agg(hdr)
+"""
+
+
+@TemplateRegistry.register
+class MLAggTemplate(Template):
+    """Render the MLAgg template from a profile.
+
+    Configurable options (paper Appendix A.1): whether to convert floating
+    point parameters to integers (``precision_dec``), whether to filter sparse
+    blocks (``is_sparse``), the aggregator depth, the parameter vector
+    dimension and the number of workers.
+    """
+
+    app_id = "MLAgg"
+
+    def render(self, profile: Profile) -> TemplateOutput:
+        self.validate(profile)
+        num_agg = int(profile.get_perf("depth", 5000))
+        vec_dim = int(profile.get_perf("dim", 24))
+        workers = int(profile.get_perf("workers", 8))
+        is_convert = int(profile.get_perf("precision_dec", 3)) > 0
+        scale = 10 ** int(profile.get_perf("precision_dec", 3))
+
+        constants = {
+            "NUM_AGG": num_agg,
+            "VEC_DIM": vec_dim,
+            "NUM_WORKER": workers,
+            "FULL_BITMAP": (1 << workers) - 1,
+            "IS_CONVERT": int(is_convert),
+            "SCALE": scale,
+        }
+        header_fields = {
+            "op": 8,
+            "seq": 32,
+            "bitmap": workers,
+            "data": 32 * vec_dim,
+            "overflow": 1,
+        }
+        return TemplateOutput(
+            source=_MLAGG_SOURCE, constants=constants, header_fields=header_fields
+        )
+
+
+def sparse_mlagg_source(block_num: int = 4, block_size: int = 6,
+                        num_agg: int = 5000, vec_dim: int = 24,
+                        is_convert: bool = True, scale: int = 1000) -> TemplateOutput:
+    """Return the sparse-gradient-aggregation user program of paper Fig. 7.
+
+    The program wraps the MLAgg template: it scans the parameter vector in
+    ``block_num`` blocks of ``block_size`` entries, drops all-zero blocks from
+    the packet, and hands the densified payload to the MLAgg instance.
+    """
+    constants = {
+        "BLOCK_NUM": block_num,
+        "BLOCK_SIZE": block_size,
+        "NUM_AGG": num_agg,
+        "VEC_DIM": vec_dim,
+        "IS_CONVERT": int(is_convert),
+        "SCALE": scale,
+        "NUM_WORKER": 8,
+        "FULL_BITMAP": (1 << 8) - 1,
+    }
+    header_fields = {
+        "op": 8,
+        "seq": 32,
+        "bitmap": 8,
+        "feat": 32 * block_num * block_size,
+        "data": 32 * vec_dim,
+        "overflow": 1,
+    }
+    return TemplateOutput(
+        source=_SPARSE_MLAGG_SOURCE, constants=constants, header_fields=header_fields
+    )

@@ -1,0 +1,48 @@
+"""Program placement (paper §5).
+
+This package implements ClickINC's placement pipeline:
+
+1. :mod:`repro.placement.depgraph` — instruction dependency graph, including
+   the mutual dependencies between instructions sharing persistent state.
+2. :mod:`repro.placement.blocks` — IR block DAG construction (Algorithm 3):
+   state-sharing grouping, cycle collapse, Kahn partitioning and block
+   merging under a size threshold.
+3. :mod:`repro.placement.objective` — the gain function of Eq. 1 with fixed
+   or adaptive weights.
+4. :mod:`repro.placement.intra` — instruction-to-stage allocation within one
+   device (Algorithm 2).
+5. :mod:`repro.placement.dp` — the multi-path dynamic-programming allocator
+   over the reduced topology tree (Algorithm 1).
+6. :mod:`repro.placement.smt_baseline` — an exhaustive branch-and-bound
+   baseline standing in for the Z3/SMT approach of prior work.
+7. :mod:`repro.placement.plan` — the placement plan produced by either
+   algorithm, including per-device program snippets and step numbers.
+"""
+
+from repro.placement.depgraph import DependencyGraph, build_dependency_graph
+from repro.placement.blocks import Block, BlockDAG, build_block_dag
+from repro.placement.objective import ObjectiveWeights, PlacementObjective
+from repro.placement.intra import IntraDeviceAllocator, StageAssignment
+from repro.placement.plan import BlockAssignment, PlacementPlan
+from repro.placement.dp import DPPlacer, PlacementRequest
+from repro.placement.smt_baseline import ExhaustivePlacer
+from repro.placement.greedy import GreedySinglePathPlacer, ReplicateAllPlacer
+
+__all__ = [
+    "DependencyGraph",
+    "build_dependency_graph",
+    "Block",
+    "BlockDAG",
+    "build_block_dag",
+    "ObjectiveWeights",
+    "PlacementObjective",
+    "IntraDeviceAllocator",
+    "StageAssignment",
+    "BlockAssignment",
+    "PlacementPlan",
+    "DPPlacer",
+    "PlacementRequest",
+    "ExhaustivePlacer",
+    "GreedySinglePathPlacer",
+    "ReplicateAllPlacer",
+]

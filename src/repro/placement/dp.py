@@ -1,0 +1,500 @@
+"""Multi-path dynamic-programming placement (paper §5.4, Algorithm 1).
+
+The placer works on the reduced topology tree of §5.3: the client-side
+sub-tree is traversed from the source leaves up to the root, the server-side
+sub-tree from the root down to the destination leaf, and the two partial
+solutions are joined at the root (Eq. 2).
+
+Because the block DAG is topologically ordered, a placement assigns each
+equivalence class a *contiguous interval* of the block sequence: a path from
+a source leaf to the destination executes the program front to back as the
+packet travels.  The DP state is therefore "how many blocks have been placed
+so far along every path through this node", and the recurrence tries every
+interval the current node could host, pruning intervals whose capability or
+resource requirements the node cannot satisfy (paper's constraint pruning).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.devices.base import Device
+from repro.exceptions import PlacementError
+from repro.ir.program import IRProgram
+from repro.placement.blocks import Block, BlockDAG, build_block_dag
+from repro.placement.intra import IntraDeviceAllocator, StageAssignment
+from repro.placement.objective import ObjectiveWeights, PlacementObjective
+from repro.placement.plan import BlockAssignment, PlacementPlan
+from repro.topology.equivalence import ReducedNode, ReducedTree, build_reduced_tree
+from repro.topology.network import NetworkTopology
+
+NEG_INF = float("-inf")
+
+
+@dataclass
+class PlacementRequest:
+    """Everything the placer needs to place one program.
+
+    Attributes
+    ----------
+    program:
+        The compiled IR program.
+    source_groups:
+        Host groups whose traffic the program must process (clients/workers).
+    destination_group:
+        Host group the traffic is destined to (servers / parameter server).
+    traffic_rates:
+        Optional per-source traffic rates (packets per second) used to weigh
+        paths; defaults to uniform.
+    max_block_size:
+        Block-construction size threshold.
+    use_blocks:
+        Disable to place individual instructions (Fig. 14 ablation).
+    adaptive_weights:
+        Use the adaptive weight schedule of §5.4 (Table 5 ablation).
+    """
+
+    program: IRProgram
+    source_groups: Sequence[str]
+    destination_group: str
+    traffic_rates: Optional[Dict[str, float]] = None
+    max_block_size: int = 16
+    use_blocks: bool = True
+    adaptive_weights: bool = True
+    prune: bool = True
+
+
+@dataclass
+class _Candidate:
+    """A partial DP solution at one node: gain + chosen intervals below it."""
+
+    gain: float
+    assignments: List[Tuple[str, int, int]] = field(default_factory=list)
+    # list of (ec_id, start_block_index, end_block_index) intervals
+
+
+class DPPlacer:
+    """ClickINC's dynamic-programming placement engine."""
+
+    def __init__(self, topology: NetworkTopology) -> None:
+        self.topology = topology
+
+    # ------------------------------------------------------------------ #
+    # public API
+    # ------------------------------------------------------------------ #
+    def place(self, request: PlacementRequest) -> PlacementPlan:
+        """Compute a placement plan for *request*.
+
+        Raises :class:`~repro.exceptions.PlacementError` when no feasible
+        placement exists on the devices along the requested paths.
+        """
+        start_time = time.perf_counter()
+        block_dag = build_block_dag(
+            request.program,
+            max_block_size=request.max_block_size if request.use_blocks else 1,
+            merge=request.use_blocks,
+        )
+        ordered_blocks = block_dag.topological_order()
+        tree = build_reduced_tree(
+            self.topology,
+            request.source_groups,
+            request.destination_group,
+            traffic_rates=request.traffic_rates,
+        )
+        objective = self._make_objective(block_dag, tree, request)
+
+        candidate = self._solve(block_dag, ordered_blocks, tree, objective, request)
+        if candidate is None or candidate.gain == NEG_INF:
+            raise PlacementError(
+                f"no feasible placement for {request.program.name!r} on the "
+                f"paths from {list(request.source_groups)} to "
+                f"{request.destination_group!r}"
+            )
+
+        elapsed = time.perf_counter() - start_time
+        plan = self._materialise_plan(
+            block_dag, ordered_blocks, tree, candidate, request, elapsed
+        )
+        return plan
+
+    def commit(self, plan: PlacementPlan) -> None:
+        """Allocate the plan's resources on the topology's devices."""
+        for assignment in plan.assignments:
+            for device_name, stage_assignment in assignment.stage_assignments.items():
+                device = self.topology.device(device_name)
+                for stage, demand in stage_assignment.stage_demands.items():
+                    device.allocate_stage(stage, demand)
+                device.deployed_programs.setdefault(plan.program_name, []).append(
+                    assignment.block_id
+                )
+
+    def release(self, plan: PlacementPlan) -> None:
+        """Release a previously committed plan's resources."""
+        for assignment in plan.assignments:
+            for device_name, stage_assignment in assignment.stage_assignments.items():
+                device = self.topology.device(device_name)
+                for stage, demand in stage_assignment.stage_demands.items():
+                    device.release_stage(stage, demand)
+                device.deployed_programs.pop(plan.program_name, None)
+
+    # ------------------------------------------------------------------ #
+    # DP core
+    # ------------------------------------------------------------------ #
+    def _make_objective(self, block_dag: BlockDAG, tree: ReducedTree,
+                        request: PlacementRequest) -> PlacementObjective:
+        total_instr = max(1, block_dag.total_instructions())
+        candidate_devices = [
+            self.topology.device(name)
+            for node in tree.all_nodes()
+            for name in node.ec.members
+        ]
+        total_resource_units = total_instr * max(1, len(candidate_devices))
+        total_bits = sum(
+            data.get("bits", 0) for _, _, data in block_dag.graph.edges(data=True)
+        )
+        weights = ObjectiveWeights.fixed()
+        return PlacementObjective(
+            total_resource_units=total_resource_units,
+            total_transfer_bits=max(1, total_bits),
+            weights=weights,
+            adaptive=request.adaptive_weights,
+        )
+
+    def _solve(self, block_dag: BlockDAG, ordered_blocks: List[Block],
+               tree: ReducedTree, objective: PlacementObjective,
+               request: PlacementRequest) -> Optional[_Candidate]:
+        num_blocks = len(ordered_blocks)
+        root = tree.root
+
+        client_children = [c for c in root.children if c.side == "client"]
+        server_children = [c for c in root.children if c.side == "server"]
+
+        # DFS_DP over the client-side sub-tree: for each child of the root,
+        # table[i] = best partial solution covering blocks [0, i) below it.
+        client_tables: List[Dict[int, _Candidate]] = [
+            self._client_dp(child, block_dag, ordered_blocks, objective, request)
+            for child in client_children
+        ]
+        # DFS_DP over the server-side sub-tree: table[j] = best solution
+        # covering blocks [j, n) at and below the child.
+        server_tables: List[Dict[int, _Candidate]] = [
+            self._server_dp(child, block_dag, ordered_blocks, objective, request)
+            for child in server_children
+        ]
+
+        best: Optional[_Candidate] = None
+        # combine: client children cover [0, i_c); root hosts [min_i, j);
+        # server children cover [j, n).
+        client_options: List[List[Tuple[int, _Candidate]]] = [
+            sorted(table.items()) for table in client_tables
+        ]
+        if not client_options:
+            client_options = [[(0, _Candidate(gain=0.0))]]
+        server_n = num_blocks
+
+        for combo in _product_limited(client_options):
+            i_values = [i for i, _ in combo]
+            i_min = min(i_values) if i_values else 0
+            below_gain = sum(c.gain for _, c in combo)
+            below_assignments = [a for _, c in combo for a in c.assignments]
+            if below_gain == NEG_INF:
+                continue
+            for j in range(max(i_values) if i_values else 0, num_blocks + 1):
+                root_interval = (i_min, j)
+                root_eval = self._evaluate_interval(
+                    root, root_interval, block_dag, ordered_blocks, objective, request
+                )
+                if root_eval is None:
+                    continue
+                root_gain, _ = root_eval
+                # server side must cover [j, n) on every server child
+                server_gain = 0.0
+                server_assignments: List[Tuple[str, int, int]] = []
+                feasible = True
+                if server_tables:
+                    for table in server_tables:
+                        candidate = table.get(j)
+                        if candidate is None or candidate.gain == NEG_INF:
+                            feasible = False
+                            break
+                        server_gain += candidate.gain
+                        server_assignments.extend(candidate.assignments)
+                else:
+                    feasible = j == num_blocks
+                if not feasible:
+                    continue
+                total_gain = below_gain + root_gain + server_gain
+                if best is None or total_gain > best.gain:
+                    assignments = list(below_assignments)
+                    if j > i_min:
+                        assignments.append((root.name, i_min, j))
+                    assignments.extend(server_assignments)
+                    best = _Candidate(gain=total_gain, assignments=assignments)
+        return best
+
+    def _client_dp(self, node: ReducedNode, block_dag: BlockDAG,
+                   ordered_blocks: List[Block], objective: PlacementObjective,
+                   request: PlacementRequest) -> Dict[int, _Candidate]:
+        """Bottom-up DP on the client sub-tree.
+
+        Returns a table mapping "blocks [0, i) are covered at or below this
+        node" to the best partial candidate.  Traffic flows leaf → root, so a
+        node's own interval sits *after* its children's intervals.
+        """
+        num_blocks = len(ordered_blocks)
+        if not node.children:
+            table: Dict[int, _Candidate] = {}
+            for end in range(0, num_blocks + 1):
+                interval = (0, end)
+                result = self._evaluate_interval(
+                    node, interval, block_dag, ordered_blocks, objective, request
+                )
+                if result is None:
+                    if request.prune:
+                        break
+                    continue
+                gain, _ = result
+                assignments = [(node.name, 0, end)] if end > 0 else []
+                table[end] = _Candidate(gain=gain, assignments=assignments)
+            return table
+
+        child_tables = [
+            self._client_dp(child, block_dag, ordered_blocks, objective, request)
+            for child in node.children
+        ]
+        table: Dict[int, _Candidate] = {}
+        for combo in _product_limited([sorted(t.items()) for t in child_tables]):
+            i_values = [i for i, _ in combo]
+            base_gain = sum(c.gain for _, c in combo)
+            base_assignments = [a for _, c in combo for a in c.assignments]
+            i_min = min(i_values)
+            i_max = max(i_values)
+            for end in range(i_max, num_blocks + 1):
+                interval = (i_min, end)
+                result = self._evaluate_interval(
+                    node, interval, block_dag, ordered_blocks, objective, request
+                )
+                if result is None:
+                    if request.prune:
+                        break
+                    continue
+                gain, _ = result
+                total = base_gain + gain
+                existing = table.get(end)
+                if existing is None or total > existing.gain:
+                    assignments = list(base_assignments)
+                    if end > i_min:
+                        assignments.append((node.name, i_min, end))
+                    table[end] = _Candidate(gain=total, assignments=assignments)
+        return table
+
+    def _server_dp(self, node: ReducedNode, block_dag: BlockDAG,
+                   ordered_blocks: List[Block], objective: PlacementObjective,
+                   request: PlacementRequest) -> Dict[int, _Candidate]:
+        """Top-down DP on the server sub-tree.
+
+        Returns a table mapping "traffic arrives at this node with blocks
+        [0, j) already executed" to the best candidate that finishes the
+        program at or below the node.
+        """
+        num_blocks = len(ordered_blocks)
+        child_tables = [
+            self._server_dp(child, block_dag, ordered_blocks, objective, request)
+            for child in node.children
+        ]
+        table: Dict[int, _Candidate] = {}
+        for start in range(0, num_blocks + 1):
+            best: Optional[_Candidate] = None
+            for end in range(start, num_blocks + 1):
+                interval = (start, end)
+                result = self._evaluate_interval(
+                    node, interval, block_dag, ordered_blocks, objective, request
+                )
+                if result is None:
+                    if request.prune:
+                        break
+                    continue
+                gain, _ = result
+                if child_tables:
+                    child_gain = 0.0
+                    child_assignments: List[Tuple[str, int, int]] = []
+                    feasible = True
+                    for child_table in child_tables:
+                        candidate = child_table.get(end)
+                        if candidate is None:
+                            feasible = False
+                            break
+                        child_gain += candidate.gain
+                        child_assignments.extend(candidate.assignments)
+                    if not feasible:
+                        continue
+                    total = gain + child_gain
+                    assignments = (
+                        [(node.name, start, end)] if end > start else []
+                    ) + child_assignments
+                else:
+                    if end != num_blocks:
+                        continue
+                    total = gain
+                    assignments = [(node.name, start, end)] if end > start else []
+                if best is None or total > best.gain:
+                    best = _Candidate(gain=total, assignments=assignments)
+            if best is not None:
+                table[start] = best
+        return table
+
+    # ------------------------------------------------------------------ #
+    # interval evaluation (calls Algorithm 2 per representative device)
+    # ------------------------------------------------------------------ #
+    def _evaluate_interval(self, node: ReducedNode, interval: Tuple[int, int],
+                           block_dag: BlockDAG, ordered_blocks: List[Block],
+                           objective: PlacementObjective,
+                           request: PlacementRequest
+                           ) -> Optional[Tuple[float, Dict[str, StageAssignment]]]:
+        start, end = interval
+        if end < start:
+            return None
+        if end == start:
+            return 0.0, {}
+        blocks = ordered_blocks[start:end]
+        instructions = [
+            instr for block in blocks for instr in block.instructions(block_dag.program)
+        ]
+        devices = [self.topology.device(name) for name in node.ec.members]
+        bypass_devices = [self.topology.device(name) for name in node.bypass]
+        assignments: Dict[str, StageAssignment] = {}
+        for device in devices:
+            allocator = IntraDeviceAllocator(device)
+            assignment = allocator.allocate(block_dag.program, instructions)
+            if assignment is None and bypass_devices:
+                # fall back to the bypass accelerator attached to this switch
+                for bypass in bypass_devices:
+                    assignment = IntraDeviceAllocator(bypass).allocate(
+                        block_dag.program, instructions
+                    )
+                    if assignment is not None:
+                        break
+            if assignment is None:
+                return None
+            assignments[assignment.device_name] = assignment
+
+        weights = objective.current_weights(devices)
+        instruction_count = len(instructions)
+        transfer_bits = self._interval_cut_bits(block_dag, ordered_blocks, start, end)
+        gain = objective.gain(
+            served_fraction=node.traffic_share if node.side != "root" else 1.0,
+            instruction_count=instruction_count,
+            transfer_bits=transfer_bits,
+            weights=weights,
+            replicas=len(devices),
+        )
+        return gain, assignments
+
+    @staticmethod
+    def _interval_cut_bits(block_dag: BlockDAG, ordered_blocks: List[Block],
+                           start: int, end: int) -> int:
+        inside = {block.block_id for block in ordered_blocks[start:end]}
+        bits = 0
+        for src, dst, data in block_dag.graph.edges(data=True):
+            src_in = src in inside
+            dst_in = dst in inside
+            if src_in != dst_in:
+                bits += data.get("bits", 0)
+        return bits
+
+    # ------------------------------------------------------------------ #
+    # plan materialisation
+    # ------------------------------------------------------------------ #
+    def _materialise_plan(self, block_dag: BlockDAG, ordered_blocks: List[Block],
+                          tree: ReducedTree, candidate: _Candidate,
+                          request: PlacementRequest,
+                          elapsed: float) -> PlacementPlan:
+        node_by_name = {node.name: node for node in tree.all_nodes()}
+        plan = PlacementPlan(
+            program_name=request.program.name,
+            block_dag=block_dag,
+            gain=candidate.gain,
+            algorithm="dp",
+            compile_time_s=elapsed,
+        )
+        position_of = {block.block_id: idx for idx, block in enumerate(ordered_blocks)}
+        seen: Dict[Tuple[str, int], bool] = {}
+        for ec_id, start, end in candidate.assignments:
+            node = node_by_name[ec_id]
+            blocks = ordered_blocks[start:end]
+            instructions = [
+                i for b in blocks for i in b.instructions(block_dag.program)
+            ]
+            for block in blocks:
+                key = (ec_id, block.block_id)
+                if key in seen:
+                    continue
+                seen[key] = True
+            stage_assignments: Dict[str, StageAssignment] = {}
+            devices = [self.topology.device(name) for name in node.ec.members]
+            used_names: List[str] = []
+            for device in devices:
+                assignment = IntraDeviceAllocator(device).allocate(
+                    block_dag.program, instructions
+                )
+                if assignment is None and node.bypass:
+                    for bypass_name in node.bypass:
+                        bypass = self.topology.device(bypass_name)
+                        assignment = IntraDeviceAllocator(bypass).allocate(
+                            block_dag.program, instructions
+                        )
+                        if assignment is not None:
+                            break
+                if assignment is None:
+                    raise PlacementError(
+                        f"internal error: interval {(start, end)} no longer fits "
+                        f"on {device.name}"
+                    )
+                stage_assignments[assignment.device_name] = assignment
+                if assignment.device_name not in used_names:
+                    used_names.append(assignment.device_name)
+            for index, block in enumerate(blocks):
+                plan.assignments.append(
+                    BlockAssignment(
+                        block_id=block.block_id,
+                        ec_id=ec_id,
+                        device_names=list(used_names),
+                        step=position_of[block.block_id],
+                        # the stage assignment covers the whole interval, so it
+                        # is attached (and later committed/released) only once
+                        stage_assignments=stage_assignments if index == 0 else {},
+                        replicated=len(used_names) > 1,
+                    )
+                )
+        plan.transfer_bits = sum(
+            block_dag.transfer_bits(src, dst)
+            for src, dst in block_dag.edges()
+        )
+        plan.metadata["tree_nodes"] = [n.name for n in tree.all_nodes()]
+        return plan
+
+
+def _product_limited(tables: List[List[Tuple[int, _Candidate]]],
+                     limit: int = 200000):
+    """Cartesian product over per-child DP tables with a safety cap."""
+    if not tables:
+        yield []
+        return
+    count = 0
+
+    def recurse(index: int, chosen: List[Tuple[int, _Candidate]]):
+        nonlocal count
+        if count > limit:
+            return
+        if index == len(tables):
+            count += 1
+            yield list(chosen)
+            return
+        for item in tables[index]:
+            chosen.append(item)
+            yield from recurse(index + 1, chosen)
+            chosen.pop()
+
+    yield from recurse(0, [])

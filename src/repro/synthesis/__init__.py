@@ -1,0 +1,32 @@
+"""Program synthesis (paper §6).
+
+Each device runs an operator-supplied *base program* (packet validation,
+forwarding).  User INC snippets placed on the device are merged with the base
+program into one executable:
+
+* variables are renamed per user so programs never share memory
+  (:mod:`repro.synthesis.isolation`),
+* a per-user traffic gate is prepended so a snippet only processes its own
+  user's packets,
+* header parsing trees and processing graphs are merged
+  (:mod:`repro.synthesis.merge`, Algorithm 4),
+* every instruction carries ownership annotations, enabling incremental
+  addition and removal of user programs without recompiling the others
+  (:mod:`repro.synthesis.incremental`).
+"""
+
+from repro.synthesis.base_program import BaseProgram, default_base_program
+from repro.synthesis.isolation import isolate_program, user_gate_instruction
+from repro.synthesis.merge import DeviceExecutable, merge_into_executable
+from repro.synthesis.incremental import IncrementalSynthesizer, SynthesisDelta
+
+__all__ = [
+    "BaseProgram",
+    "default_base_program",
+    "isolate_program",
+    "user_gate_instruction",
+    "DeviceExecutable",
+    "merge_into_executable",
+    "IncrementalSynthesizer",
+    "SynthesisDelta",
+]

@@ -1,0 +1,32 @@
+"""Data-center network topologies and the topology simplification of §5.3.
+
+The topology layer builds fat-tree and spine-leaf networks of heterogeneous
+devices, enumerates the paths INC traffic can take between pods, groups
+devices into equivalence classes (ECs), and reduces the network to the
+client-side / server-side trees the placement DP operates on.
+"""
+
+from repro.topology.network import NetworkTopology, HostGroup, Link
+from repro.topology.fattree import build_fattree, build_paper_emulation_topology
+from repro.topology.spineleaf import build_spineleaf
+from repro.topology.equivalence import (
+    EquivalenceClass,
+    compute_equivalence_classes,
+    ReducedNode,
+    ReducedTree,
+    build_reduced_tree,
+)
+
+__all__ = [
+    "NetworkTopology",
+    "HostGroup",
+    "Link",
+    "build_fattree",
+    "build_paper_emulation_topology",
+    "build_spineleaf",
+    "EquivalenceClass",
+    "compute_equivalence_classes",
+    "ReducedNode",
+    "ReducedTree",
+    "build_reduced_tree",
+]

@@ -1,0 +1,163 @@
+"""Fat-tree topology builders (paper §5.3, Fig. 11, Fig. 18-19).
+
+Two flavours are provided:
+
+* :func:`build_fattree` — a parametric k-ary fat-tree of homogeneous or
+  per-layer heterogeneous devices, used by the scalability experiments.
+* :func:`build_paper_emulation_topology` — the concrete 3-pod heterogeneous
+  emulation topology of paper Fig. 11 (Tofino ToRs, TD4/Tofino aggregation
+  with bypass FPGAs, Tofino2 cores, smartNIC / FPGA-NIC equipped racks),
+  used by the multi-user placement and incremental-deployment experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.devices.registry import make_device
+from repro.exceptions import TopologyError
+from repro.topology.network import HostGroup, NetworkTopology
+
+
+def build_fattree(
+    k: int = 4,
+    tor_type: str = "tofino",
+    agg_type: str = "tofino",
+    core_type: str = "tofino",
+    link_gbps: float = 100.0,
+    name: Optional[str] = None,
+) -> NetworkTopology:
+    """Build a device-equal k-ary fat-tree (k pods, (k/2)^2 cores).
+
+    Each pod has k/2 ToR and k/2 aggregation switches; every ToR connects to
+    every aggregation switch in its pod; aggregation switch *i* connects to
+    core group *i*.  Two host groups, ``pod<j>(a)`` and ``pod<j>(b)``, hang
+    off the first two ToRs of each pod.
+    """
+    if k < 2 or k % 2 != 0:
+        raise TopologyError("fat-tree parameter k must be an even integer >= 2")
+    topo = NetworkTopology(name or f"fattree_k{k}")
+    half = k // 2
+
+    core_names: List[List[str]] = []
+    for group in range(half):
+        group_names = []
+        for index in range(half):
+            dev_name = f"Core{group}_{index}"
+            topo.add_device(make_device(core_type, dev_name), layer="core", pod=-1)
+            group_names.append(dev_name)
+        core_names.append(group_names)
+
+    for pod in range(k):
+        agg_names = []
+        for index in range(half):
+            dev_name = f"Agg{pod}_{index}"
+            topo.add_device(make_device(agg_type, dev_name), layer="agg", pod=pod)
+            agg_names.append(dev_name)
+            for core in core_names[index]:
+                topo.add_link(dev_name, core, capacity_gbps=link_gbps)
+        for index in range(half):
+            dev_name = f"ToR{pod}_{index}"
+            topo.add_device(make_device(tor_type, dev_name), layer="tor", pod=pod)
+            for agg in agg_names:
+                topo.add_link(dev_name, agg, capacity_gbps=link_gbps)
+            if index < 2:
+                suffix = "a" if index == 0 else "b"
+                topo.add_host_group(
+                    HostGroup(name=f"pod{pod}({suffix})", tor=dev_name, num_hosts=half)
+                )
+    return topo
+
+
+def build_chain(num_devices: int, dev_type: str = "tofino",
+                link_gbps: float = 100.0, name: str = "chain") -> NetworkTopology:
+    """A linear chain of devices with a client group at one end and a server
+    group at the other — the setting of the DP-vs-SMT comparison (Table 4)."""
+    if num_devices < 1:
+        raise TopologyError("chain needs at least one device")
+    topo = NetworkTopology(name)
+    previous = None
+    for index in range(num_devices):
+        dev_name = f"SW{index}"
+        layer = "tor" if index in (0, num_devices - 1) else "agg"
+        topo.add_device(make_device(dev_type, dev_name), layer=layer, pod=0)
+        if previous is not None:
+            topo.add_link(previous, dev_name, capacity_gbps=link_gbps)
+        previous = dev_name
+    topo.add_host_group(HostGroup(name="client", tor="SW0", role="client"))
+    topo.add_host_group(
+        HostGroup(name="server", tor=f"SW{num_devices - 1}", role="server")
+    )
+    return topo
+
+
+def build_paper_emulation_topology(link_gbps: float = 100.0) -> NetworkTopology:
+    """The heterogeneous 3-pod emulation topology of paper Fig. 11.
+
+    * pod0 and pod1 are client pods: Tofino ToR switches (ToR0-ToR3), TD4
+      aggregation switches (Agg0-Agg3).  The racks under pod0(b) and pod1(b)
+      are equipped with Netronome NFP smartNICs; pod1's racks also have
+      FPGA-based NICs available for floating-point work.
+    * pod2 is the server pod: Tofino ToRs (ToR4, ToR5) and Tofino aggregation
+      switches (Agg4, Agg5) with bypass FPGA accelerators (used to host huge
+      KVS caches).
+    * Four Tofino2 core switches connect the aggregation layer.
+    """
+    topo = NetworkTopology("paper_fig11")
+
+    for index in range(4):
+        topo.add_device(make_device("tofino2", f"Core{index}"), layer="core", pod=-1)
+
+    # pod0 and pod1 — client pods with TD4 aggregation
+    for pod in (0, 1):
+        for local in range(2):
+            agg_name = f"Agg{pod * 2 + local}"
+            topo.add_device(make_device("td4", agg_name), layer="agg", pod=pod)
+            for core in range(4):
+                topo.add_link(agg_name, f"Core{core}", capacity_gbps=link_gbps)
+        for local in range(2):
+            tor_name = f"ToR{pod * 2 + local}"
+            topo.add_device(make_device("tofino", tor_name), layer="tor", pod=pod)
+            for local_agg in range(2):
+                topo.add_link(
+                    tor_name, f"Agg{pod * 2 + local_agg}", capacity_gbps=link_gbps
+                )
+        suffix_nic = {"a": None, "b": "nfp"} if pod == 0 else {"a": "nfp", "b": "fpga_nic"}
+        for local, (suffix, nic) in enumerate(suffix_nic.items()):
+            topo.add_host_group(
+                HostGroup(
+                    name=f"pod{pod}({suffix})",
+                    tor=f"ToR{pod * 2 + local}",
+                    num_hosts=8,
+                    role="client",
+                    nic_type=nic,
+                )
+            )
+
+    # pod2 — server pod with Tofino aggregation and bypass FPGAs
+    for local in range(2):
+        agg_name = f"Agg{4 + local}"
+        topo.add_device(make_device("tofino", agg_name), layer="agg", pod=2)
+        for core in range(4):
+            topo.add_link(agg_name, f"Core{core}", capacity_gbps=link_gbps)
+        topo.attach_bypass(agg_name, make_device("fpga", f"BypassFPGA{local}"))
+    for local in range(2):
+        tor_name = f"ToR{4 + local}"
+        topo.add_device(make_device("tofino", tor_name), layer="tor", pod=2)
+        for local_agg in range(2):
+            topo.add_link(tor_name, f"Agg{4 + local_agg}", capacity_gbps=link_gbps)
+    topo.add_host_group(
+        HostGroup(name="pod2(a)", tor="ToR4", num_hosts=8, role="server")
+    )
+    topo.add_host_group(
+        HostGroup(name="pod2(b)", tor="ToR5", num_hosts=8, role="server")
+    )
+
+    # smartNIC devices attached to the client racks that have them
+    topo.add_device(make_device("nfp", "NIC_pod0b"), layer="nic", pod=0)
+    topo.add_link("NIC_pod0b", "ToR1", capacity_gbps=40.0)
+    topo.add_device(make_device("nfp", "NIC_pod1a"), layer="nic", pod=1)
+    topo.add_link("NIC_pod1a", "ToR2", capacity_gbps=40.0)
+    topo.add_device(make_device("fpga_nic", "FNIC_pod1b"), layer="nic", pod=1)
+    topo.add_link("FNIC_pod1b", "ToR3", capacity_gbps=100.0)
+    return topo

@@ -1,0 +1,207 @@
+"""Network topology container.
+
+A :class:`NetworkTopology` is a graph of :class:`~repro.devices.base.Device`
+nodes plus host groups (racks of servers / workers) attached to ToR switches.
+It provides path enumeration between host groups, which the placement layer
+uses to find the devices INC programs can occupy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from repro.devices.base import Device
+from repro.exceptions import TopologyError
+
+
+@dataclass
+class Link:
+    """A bidirectional link between two nodes with a capacity in Gbps."""
+
+    a: str
+    b: str
+    capacity_gbps: float = 100.0
+    latency_ns: float = 1000.0
+
+
+@dataclass
+class HostGroup:
+    """A group of end hosts (servers or ML workers) under one ToR switch.
+
+    ``name`` examples: ``"pod0(a)"``, ``"pod2(b)"`` as in the paper's Fig. 11.
+    """
+
+    name: str
+    tor: str
+    num_hosts: int = 16
+    role: str = "client"          # "client" or "server"
+    nic_type: Optional[str] = None  # e.g. "nfp" or "fpga_nic" for smartNIC racks
+
+
+class NetworkTopology:
+    """A data-center network of programmable devices.
+
+    Attributes
+    ----------
+    graph:
+        The underlying :class:`networkx.Graph`; node attributes carry the
+        :class:`Device` objects, edge attributes carry :class:`Link` objects.
+    layers:
+        Mapping from device name to its layer label
+        (``"tor"``, ``"agg"``, ``"core"``, ``"nic"``, ``"accel"``).
+    """
+
+    def __init__(self, name: str = "dcn") -> None:
+        self.name = name
+        self.graph = nx.Graph()
+        self.devices: Dict[str, Device] = {}
+        self.layers: Dict[str, str] = {}
+        self.pods: Dict[str, int] = {}
+        self.host_groups: Dict[str, HostGroup] = {}
+        self.bypass: Dict[str, str] = {}   # switch name -> attached accelerator name
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    def add_device(self, device: Device, layer: str, pod: int = -1) -> Device:
+        if device.name in self.devices:
+            raise TopologyError(f"duplicate device name {device.name!r}")
+        self.devices[device.name] = device
+        self.layers[device.name] = layer
+        self.pods[device.name] = pod
+        self.graph.add_node(device.name, device=device, layer=layer, pod=pod)
+        return device
+
+    def add_link(self, a: str, b: str, capacity_gbps: float = 100.0,
+                 latency_ns: float = 1000.0) -> Link:
+        for node in (a, b):
+            if node not in self.devices:
+                raise TopologyError(f"link endpoint {node!r} is not a device")
+        link = Link(a=a, b=b, capacity_gbps=capacity_gbps, latency_ns=latency_ns)
+        self.graph.add_edge(a, b, link=link)
+        return link
+
+    def attach_bypass(self, switch: str, accelerator: Device) -> None:
+        """Attach a bypass accelerator card (e.g. FPGA) to *switch*.
+
+        The accelerator enhances the switch's memory/compute capacity
+        (paper §4.1: "a switch ASIC can be equipped with a bypass accelerator
+        card"); placement treats the pair as co-located.
+        """
+        if switch not in self.devices:
+            raise TopologyError(f"unknown switch {switch!r}")
+        self.add_device(accelerator, layer="accel", pod=self.pods.get(switch, -1))
+        self.add_link(switch, accelerator.name, capacity_gbps=100.0, latency_ns=500.0)
+        self.bypass[switch] = accelerator.name
+
+    def add_host_group(self, group: HostGroup) -> HostGroup:
+        if group.tor not in self.devices:
+            raise TopologyError(f"host group {group.name!r}: unknown ToR {group.tor!r}")
+        if group.name in self.host_groups:
+            raise TopologyError(f"duplicate host group {group.name!r}")
+        self.host_groups[group.name] = group
+        return group
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    def device(self, name: str) -> Device:
+        try:
+            return self.devices[name]
+        except KeyError as exc:
+            raise TopologyError(f"unknown device {name!r}") from exc
+
+    def devices_in_layer(self, layer: str) -> List[Device]:
+        return [dev for name, dev in self.devices.items() if self.layers[name] == layer]
+
+    def devices_in_pod(self, pod: int) -> List[Device]:
+        return [dev for name, dev in self.devices.items() if self.pods[name] == pod]
+
+    def neighbors(self, name: str) -> List[str]:
+        return list(self.graph.neighbors(name))
+
+    def host_group(self, name: str) -> HostGroup:
+        try:
+            return self.host_groups[name]
+        except KeyError as exc:
+            raise TopologyError(f"unknown host group {name!r}") from exc
+
+    def link(self, a: str, b: str) -> Link:
+        data = self.graph.get_edge_data(a, b)
+        if data is None:
+            raise TopologyError(f"no link between {a!r} and {b!r}")
+        return data["link"]
+
+    # ------------------------------------------------------------------ #
+    # path enumeration
+    # ------------------------------------------------------------------ #
+    def paths_between_groups(self, src_group: str, dst_group: str,
+                             max_paths: int = 64) -> List[List[str]]:
+        """All simple shortest paths (device name sequences) between two groups.
+
+        Bypass accelerators are excluded from the forwarding path — they hang
+        off a switch rather than sitting inline — but remain available to
+        placement via :attr:`bypass`.
+        """
+        src_tor = self.host_group(src_group).tor
+        dst_tor = self.host_group(dst_group).tor
+        if src_tor == dst_tor:
+            return [[src_tor]]
+        forwarding = self.graph.subgraph(
+            [n for n in self.graph.nodes if self.layers[n] != "accel"]
+        )
+        try:
+            paths = list(
+                nx.all_shortest_paths(forwarding, source=src_tor, target=dst_tor)
+            )
+        except nx.NetworkXNoPath as exc:
+            raise TopologyError(
+                f"no path between {src_group!r} and {dst_group!r}"
+            ) from exc
+        return paths[:max_paths]
+
+    def paths_for_traffic(self, sources: Sequence[str], destination: str,
+                          max_paths: int = 64) -> Dict[str, List[List[str]]]:
+        """Paths from each source host group to the destination group."""
+        return {
+            src: self.paths_between_groups(src, destination, max_paths=max_paths)
+            for src in sources
+        }
+
+    def devices_on_paths(self, paths: Iterable[List[str]]) -> List[Device]:
+        names: List[str] = []
+        seen = set()
+        for path in paths:
+            for node in path:
+                if node not in seen:
+                    seen.add(node)
+                    names.append(node)
+        return [self.devices[name] for name in names]
+
+    def path_bandwidth(self, path: Sequence[str]) -> float:
+        """Bottleneck bandwidth along a device path in Gbps."""
+        if len(path) < 2:
+            return self.devices[path[0]].bandwidth_gbps if path else 0.0
+        capacities = []
+        for a, b in zip(path, path[1:]):
+            capacities.append(self.link(a, b).capacity_gbps)
+        return min(capacities)
+
+    def reset_resources(self) -> None:
+        """Release every allocation on every device (between experiments)."""
+        for device in self.devices.values():
+            device.reset()
+
+    def total_utilisation(self) -> float:
+        if not self.devices:
+            return 0.0
+        return sum(d.utilisation() for d in self.devices.values()) / len(self.devices)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"NetworkTopology(name={self.name!r}, devices={len(self.devices)}, "
+            f"links={self.graph.number_of_edges()}, groups={len(self.host_groups)})"
+        )

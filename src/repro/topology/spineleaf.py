@@ -1,0 +1,39 @@
+"""Spine-leaf topology builder (paper Appendix B.2).
+
+In a spine-leaf network every leaf connects to every spine, so all spines are
+equivalent for placement and every leaf-to-leaf path is a two-hop
+leaf-spine-leaf chain.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.devices.registry import make_device
+from repro.exceptions import TopologyError
+from repro.topology.network import HostGroup, NetworkTopology
+
+
+def build_spineleaf(
+    num_spines: int = 4,
+    num_leaves: int = 8,
+    leaf_type: str = "tofino",
+    spine_type: str = "tofino2",
+    link_gbps: float = 100.0,
+    name: Optional[str] = None,
+) -> NetworkTopology:
+    """Build a spine-leaf fabric with one host group per leaf."""
+    if num_spines < 1 or num_leaves < 2:
+        raise TopologyError("spine-leaf needs >=1 spine and >=2 leaves")
+    topo = NetworkTopology(name or f"spineleaf_{num_spines}x{num_leaves}")
+    for index in range(num_spines):
+        topo.add_device(make_device(spine_type, f"Spine{index}"), layer="core", pod=-1)
+    for index in range(num_leaves):
+        leaf_name = f"Leaf{index}"
+        topo.add_device(make_device(leaf_type, leaf_name), layer="tor", pod=index)
+        for spine in range(num_spines):
+            topo.add_link(leaf_name, f"Spine{spine}", capacity_gbps=link_gbps)
+        topo.add_host_group(
+            HostGroup(name=f"rack{index}", tor=leaf_name, num_hosts=16)
+        )
+    return topo

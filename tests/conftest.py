@@ -1,0 +1,50 @@
+"""Shared fixtures for the test suite.
+
+Compiled template programs and topologies are expensive enough to build that
+they are session-scoped; tests that mutate them must copy first.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.frontend import FrontendCompiler, compile_template
+from repro.lang.profile import default_profile
+from repro.topology import build_paper_emulation_topology
+from repro.topology.fattree import build_chain, build_fattree
+
+
+@pytest.fixture(scope="session")
+def kvs_program():
+    return compile_template(default_profile("KVS"), name="kvs_fixture")
+
+
+@pytest.fixture(scope="session")
+def mlagg_program():
+    return compile_template(default_profile("MLAgg"), name="mlagg_fixture")
+
+
+@pytest.fixture(scope="session")
+def dqacc_program():
+    return compile_template(default_profile("DQAcc"), name="dqacc_fixture")
+
+
+@pytest.fixture()
+def paper_topology():
+    """A fresh Fig.-11 emulation topology (function scoped: tests allocate)."""
+    return build_paper_emulation_topology()
+
+
+@pytest.fixture()
+def chain_topology():
+    return build_chain(4)
+
+
+@pytest.fixture()
+def small_fattree():
+    return build_fattree(k=4)
+
+
+@pytest.fixture()
+def compiler():
+    return FrontendCompiler()

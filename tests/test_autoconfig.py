@@ -1,0 +1,89 @@
+"""Unit tests for the learning-based parameter auto-configuration."""
+
+import numpy as np
+import pytest
+
+from repro.apps.autoconfig import (
+    ParameterAutoConfigurator,
+    ResourceModel,
+    kvs_hit_ratio_simulator,
+)
+from repro.exceptions import ProfileError
+
+
+def make_configurator():
+    model = ResourceModel(
+        parameter_names=["depth", "cms_size"],
+        metric_names=["hit_ratio", "accuracy"],
+    )
+    configurator = ParameterAutoConfigurator(model)
+    simulate = kvs_hit_ratio_simulator(num_keys=10000, skew=1.2)
+    grid = [
+        {"depth": d, "cms_size": c}
+        for d in (100, 500, 1000, 2000, 5000, 8000)
+        for c in (256, 1024, 4096, 16384)
+    ]
+    configurator.history_from_simulator(simulate, grid)
+    return configurator, simulate
+
+
+class TestResourceModel:
+    def test_fit_and_predict_interpolates(self):
+        configurator, simulate = make_configurator()
+        observed = simulate({"depth": 3000, "cms_size": 2048})
+        predicted = configurator.model.predict([3000, 2048])
+        assert abs(predicted[0] - observed["hit_ratio"]) < 0.15
+        assert abs(predicted[1] - observed["accuracy"]) < 0.25
+
+    def test_predict_without_fit_raises(self):
+        model = ResourceModel(["a"], ["m"])
+        with pytest.raises(ProfileError):
+            model.predict([1.0])
+
+    def test_fit_with_few_samples_uses_ridge(self):
+        model = ResourceModel(["a"], ["m"])
+        model.fit([[1.0], [2.0]], [[0.1], [0.2]])
+        assert model.coefficients is not None
+
+
+class TestConfigurator:
+    def test_configuration_meets_requirements(self):
+        configurator, simulate = make_configurator()
+        params = configurator.configure(
+            requirements={"hit_ratio": 0.55, "accuracy": 0.6},
+            bounds={"depth": (100, 10000), "cms_size": (256, 65536)},
+        )
+        observed = simulate(params)
+        assert observed["hit_ratio"] >= 0.5      # small model tolerance
+        assert observed["accuracy"] >= 0.5
+
+    def test_cheaper_requirements_need_fewer_resources(self):
+        configurator, _ = make_configurator()
+        loose = configurator.configure(
+            requirements={"hit_ratio": 0.3},
+            bounds={"depth": (100, 10000), "cms_size": (256, 65536)},
+        )
+        tight = configurator.configure(
+            requirements={"hit_ratio": 0.7},
+            bounds={"depth": (100, 10000), "cms_size": (256, 65536)},
+        )
+        assert loose["depth"] <= tight["depth"]
+
+    def test_impossible_requirements_raise(self):
+        configurator, _ = make_configurator()
+        with pytest.raises(ProfileError):
+            configurator.configure(
+                requirements={"hit_ratio": 2.0},
+                bounds={"depth": (100, 10000), "cms_size": (256, 65536)},
+            )
+
+    def test_custom_resource_cost(self):
+        model = ResourceModel(["depth"], ["hit_ratio"])
+        model.fit([[100], [1000], [10000]], [[0.2], [0.5], [0.9]])
+        configurator = ParameterAutoConfigurator(
+            model, resource_cost=lambda p: float(p[0] ** 2)
+        )
+        params = configurator.configure(
+            requirements={"hit_ratio": 0.4}, bounds={"depth": (100, 10000)}
+        )
+        assert params["depth"] < 10000

@@ -1,0 +1,61 @@
+"""Unit tests for IR structural verification."""
+
+import pytest
+
+from repro.exceptions import IRError
+from repro.ir.instructions import Instruction, Opcode, StateDecl, StateKind
+from repro.ir.program import HeaderField, IRProgram
+from repro.ir.verify import verify_program
+
+
+def test_valid_program_passes():
+    program = IRProgram("ok")
+    program.declare_header_field(HeaderField(name="key", width=32))
+    program.emit(Opcode.MOV, "a", 1)
+    program.emit(Opcode.ADD, "b", "a", "hdr.key")
+    assert verify_program(program) == []
+
+
+def test_use_before_def_detected():
+    program = IRProgram("bad")
+    program.emit(Opcode.ADD, "b", "a", 1)   # 'a' never defined
+    with pytest.raises(IRError):
+        verify_program(program)
+    diagnostics = verify_program(program, strict=False)
+    assert any("used before definition" in d for d in diagnostics)
+
+
+def test_guard_before_def_detected():
+    program = IRProgram("bad")
+    program.emit(Opcode.MOV, "a", 1, guard="g")
+    diagnostics = verify_program(program, strict=False)
+    assert any("guard" in d for d in diagnostics)
+
+
+def test_stateful_without_state_detected():
+    program = IRProgram("bad")
+    instr = Instruction(Opcode.REG_ADD, dst="x", operands=(0, 1))
+    program.append(instr)
+    diagnostics = verify_program(program, strict=False)
+    assert any("without state" in d for d in diagnostics)
+
+
+def test_select_arity_checked():
+    program = IRProgram("bad")
+    program.emit(Opcode.MOV, "p", 1, width=1)
+    program.emit(Opcode.SELECT, "x", "p", 1)
+    diagnostics = verify_program(program, strict=False)
+    assert any("select" in d for d in diagnostics)
+
+
+def test_header_and_meta_references_allowed():
+    program = IRProgram("ok")
+    program.emit(Opcode.MOV, "x", "hdr.anything")
+    program.emit(Opcode.MOV, "y", "meta.next_hop")
+    program.emit(Opcode.MOV, "z", "const.CPU")
+    assert verify_program(program) == []
+
+
+def test_compiled_templates_verify(kvs_program, mlagg_program, dqacc_program):
+    for program in (kvs_program, mlagg_program, dqacc_program):
+        assert verify_program(program) == []

@@ -1,0 +1,145 @@
+"""Unit tests for INC object specs and configuration profiles."""
+
+import pytest
+
+from repro.exceptions import LanguageError, ProfileError
+from repro.ir.instructions import StateKind
+from repro.lang.objects import (
+    ArraySpec,
+    CryptoSpec,
+    HashSpec,
+    ObjectKind,
+    SeqSpec,
+    SketchSpec,
+    TableSpec,
+    make_object,
+)
+from repro.lang.profile import (
+    KNOWN_APPS,
+    PacketFormat,
+    Profile,
+    TrafficSpec,
+    default_profile,
+)
+
+
+class TestObjectSpecs:
+    def test_array_state_decl(self):
+        spec = ArraySpec("mem", rows=3, size=1024, width=32)
+        decls = spec.state_decls()
+        assert len(decls) == 1
+        assert decls[0].kind is StateKind.REGISTER_ARRAY
+        assert spec.total_bits == 3 * 1024 * 32
+
+    def test_array_rejects_bad_sizes(self):
+        with pytest.raises(LanguageError):
+            ArraySpec("bad", rows=0)
+
+    @pytest.mark.parametrize(
+        "match_type,kind",
+        [
+            ("exact", StateKind.EXACT_TABLE),
+            ("ternary", StateKind.TERNARY_TABLE),
+            ("lpm", StateKind.TERNARY_TABLE),
+            ("direct", StateKind.DIRECT_TABLE),
+        ],
+    )
+    def test_table_kinds(self, match_type, kind):
+        spec = TableSpec("t", match_type=match_type)
+        assert spec.state_decls()[0].kind is kind
+
+    def test_table_rejects_unknown_type(self):
+        with pytest.raises(LanguageError):
+            TableSpec("t", match_type="fuzzy")
+
+    def test_hash_output_width(self):
+        assert HashSpec("h", algorithm="crc_16").output_width == 16
+        assert HashSpec("h", algorithm="crc_32").output_width == 32
+        assert HashSpec("h").state_decls() == []
+
+    def test_hash_rejects_unknown_algorithm(self):
+        with pytest.raises(LanguageError):
+            HashSpec("h", algorithm="md5")
+
+    def test_sketch_bloom_filter_is_one_bit(self):
+        spec = SketchSpec("bf", sketch_type="bloom-filter", rows=3, size=1024)
+        assert spec.width == 1
+
+    def test_sketch_rejects_unknown_type(self):
+        with pytest.raises(LanguageError):
+            SketchSpec("s", sketch_type="hyperloglog")
+
+    def test_seq_and_crypto(self):
+        assert SeqSpec("s", size=128).state_decls()[0].size == 128
+        assert CryptoSpec("c", algorithm="aes").state_decls() == []
+        with pytest.raises(LanguageError):
+            CryptoSpec("c", algorithm="rot13")
+
+    def test_make_object_maps_user_kwargs(self):
+        array = make_object(ObjectKind.ARRAY, "a", row=2, size=64, w=16)
+        assert isinstance(array, ArraySpec) and array.rows == 2 and array.width == 16
+        table = make_object(ObjectKind.TABLE, "t", type="exact", size=10)
+        assert isinstance(table, TableSpec) and table.size == 10
+        sketch = make_object(ObjectKind.SKETCH, "s", type="count-min", row=4)
+        assert isinstance(sketch, SketchSpec) and sketch.rows == 4
+        hash_spec = make_object(ObjectKind.HASH, "h", type="crc_32", ceil=100)
+        assert isinstance(hash_spec, HashSpec) and hash_spec.ceil == 100
+
+
+class TestProfiles:
+    def test_default_profiles_exist_for_main_apps(self):
+        for app in ("KVS", "MLAgg", "DQAcc"):
+            profile = default_profile(app)
+            assert profile.app == app
+            profile.validate_for_template()
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(ProfileError):
+            Profile(app="NotAnApp")
+
+    def test_traffic_spec_totals(self):
+        spec = TrafficSpec({"c1": 10.0, "c2": 20.0})
+        assert spec.total_pps() == 30.0
+        assert spec.rate_for("c1") == 10.0
+        assert spec.rate_for("missing") == 0.0
+        assert TrafficSpec.uniform(["a", "b"], 5.0).total_pps() == 10.0
+
+    def test_packet_format_bits(self):
+        fmt = PacketFormat(network="ethernet/ipv4/udp", app_fields={"key": 128})
+        assert fmt.header_bits() == 112 + 160 + 64 + 128
+
+    def test_kvs_profile_validation(self):
+        profile = Profile(app="KVS", performance={"depth": -1})
+        with pytest.raises(ProfileError):
+            profile.validate_for_template()
+        profile = Profile(app="KVS", performance={"max_hit_acc": [0.9, 0.3]})
+        with pytest.raises(ProfileError):
+            profile.validate_for_template()
+
+    def test_mlagg_profile_validation(self):
+        with pytest.raises(ProfileError):
+            Profile(app="MLAgg", performance={"depth": 0}).validate_for_template()
+        with pytest.raises(ProfileError):
+            Profile(app="MLAgg", performance={"precision_dec": -1}).validate_for_template()
+
+    def test_dqacc_profile_validation(self):
+        with pytest.raises(ProfileError):
+            Profile(app="DQAcc", performance={"c_depth": 0}).validate_for_template()
+
+    def test_round_trip_serialisation(self):
+        original = default_profile("KVS", user="alice")
+        data = original.to_dict()
+        restored = Profile.from_dict(data)
+        assert restored.app == "KVS"
+        assert restored.user == "alice"
+        assert restored.packet_format.app_fields["key"] == 128
+        assert restored.traffic.total_pps() == original.traffic.total_pps()
+
+    def test_require_perf(self):
+        profile = default_profile("KVS")
+        assert profile.require_perf("depth") > 0
+        with pytest.raises(ProfileError):
+            profile.require_perf("not_there")
+
+    def test_known_apps_constant(self):
+        assert set(["KVS", "MLAgg", "DQAcc"]) <= set(KNOWN_APPS)

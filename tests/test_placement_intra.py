@@ -1,0 +1,139 @@
+"""Unit tests for the intra-device allocator and the objective function."""
+
+import pytest
+
+from repro.devices import NetronomeNFPDevice, TofinoDevice, XilinxFPGADevice
+from repro.ir.instructions import Instruction, Opcode, StateDecl, StateKind
+from repro.ir.program import HeaderField, IRProgram
+from repro.placement import IntraDeviceAllocator, ObjectiveWeights, PlacementObjective
+
+
+def chain_program(length=5):
+    program = IRProgram("chain")
+    program.declare_header_field(HeaderField(name="v", width=32))
+    program.emit(Opcode.MOV, "x0", "hdr.v")
+    for i in range(length):
+        program.emit(Opcode.ADD, f"x{i + 1}", f"x{i}", 1)
+    return program
+
+
+class TestIntraDeviceAllocator:
+    def test_dependent_instructions_use_increasing_stages(self):
+        program = chain_program(5)
+        allocator = IntraDeviceAllocator(TofinoDevice("t"))
+        assignment = allocator.allocate(program, list(program))
+        stages = [assignment.stage_of_instruction[i.uid] for i in program]
+        assert stages == sorted(stages)
+        assert assignment.stages_used == 6
+
+    def test_chain_longer_than_pipeline_fails(self):
+        program = chain_program(15)
+        allocator = IntraDeviceAllocator(TofinoDevice("t", num_stages=8))
+        assert allocator.allocate(program, list(program)) is None
+
+    def test_rtc_device_ignores_chain_depth(self):
+        program = chain_program(30)
+        allocator = IntraDeviceAllocator(NetronomeNFPDevice("n"))
+        assignment = allocator.allocate(program, list(program))
+        assert assignment is not None
+
+    def test_unsupported_class_rejected(self):
+        program = IRProgram("f")
+        program.emit(Opcode.FADD, "x", 1.0, 2.0)
+        assert IntraDeviceAllocator(TofinoDevice("t")).allocate(program, list(program)) is None
+        assert IntraDeviceAllocator(XilinxFPGADevice("f")).allocate(program, list(program)) is not None
+
+    def test_predicate_producers_can_share_stage(self):
+        program = IRProgram("pred")
+        program.declare_header_field(HeaderField(name="v", width=32))
+        program.emit(Opcode.CMP_GT, "p", "hdr.v", 5, width=1)
+        program.emit(Opcode.MOV, "x", 1, guard="p")
+        allocator = IntraDeviceAllocator(TofinoDevice("t"))
+        assignment = allocator.allocate(program, list(program))
+        stage_cmp = assignment.stage_of_instruction[0]
+        stage_mov = assignment.stage_of_instruction[1]
+        assert stage_mov == stage_cmp
+
+    def test_state_memory_accounted(self):
+        program = IRProgram("mem")
+        program.declare_state(
+            StateDecl("big", StateKind.REGISTER_ARRAY, rows=1, size=1 << 20, width=32)
+        )
+        program.emit(Opcode.REG_READ, "x", 0, state="big")
+        allocator = IntraDeviceAllocator(TofinoDevice("t"))
+        assignment = allocator.allocate(program, list(program))
+        assert assignment is not None
+        total_sram = sum(d.get("sram_kb", 0) for d in assignment.stage_demands.values())
+        assert total_sram >= (1 << 20) * 32 / 8192.0
+
+    def test_commit_and_release(self):
+        program = chain_program(3)
+        device = TofinoDevice("t")
+        allocator = IntraDeviceAllocator(device)
+        assignment = allocator.allocate(program, list(program), commit=True)
+        assert device.utilisation() > 0
+        allocator.release(assignment)
+        assert device.utilisation() == pytest.approx(0.0)
+
+    def test_empty_instruction_list(self):
+        allocator = IntraDeviceAllocator(TofinoDevice("t"))
+        assignment = allocator.allocate(IRProgram("e"), [])
+        assert assignment.stages_used == 0 and assignment.instruction_count == 0
+
+    def test_salu_per_stage_limit_spreads_stateful_ops(self):
+        program = IRProgram("salu")
+        program.declare_state(StateDecl("r", StateKind.REGISTER_ARRAY, size=64, width=32))
+        for i in range(10):
+            program.emit(Opcode.REG_ADD, f"c{i}", i, 1, state="r")
+        allocator = IntraDeviceAllocator(TofinoDevice("t"))
+        assignment = allocator.allocate(program, list(program))
+        assert assignment is not None
+        per_stage = {}
+        for uid, stage in assignment.stage_of_instruction.items():
+            per_stage[stage] = per_stage.get(stage, 0) + 1
+        assert max(per_stage.values()) <= 4   # Tofino SALU/stage limit
+
+
+class TestObjective:
+    def test_fixed_weights(self):
+        weights = ObjectiveWeights.fixed()
+        assert weights.w_t == 0.5
+
+    def test_adaptive_weights_shift_with_resources(self):
+        empty = ObjectiveWeights.adaptive(1.0)
+        full = ObjectiveWeights.adaptive(0.0)
+        assert empty.w_r == pytest.approx(0.0)
+        assert empty.w_p == pytest.approx(0.5)
+        assert full.w_r == pytest.approx(0.5)
+        assert full.w_p == pytest.approx(0.0)
+        # w_r + w_p is always 1/2
+        for r in (0.0, 0.3, 0.7, 1.0):
+            w = ObjectiveWeights.adaptive(r)
+            assert w.w_r + w.w_p == pytest.approx(0.5)
+
+    def test_gain_monotonic_in_terms(self):
+        objective = PlacementObjective(
+            total_resource_units=100, total_transfer_bits=1000, adaptive=False
+        )
+        weights = objective.base_weights
+        base = objective.gain(1.0, 10, 100, weights)
+        more_resource = objective.gain(1.0, 20, 100, weights)
+        more_transfer = objective.gain(1.0, 10, 200, weights)
+        less_traffic = objective.gain(0.5, 10, 100, weights)
+        assert more_resource < base
+        assert more_transfer < base
+        assert less_traffic < base
+
+    def test_replication_costs_resources(self):
+        objective = PlacementObjective(100, 1000, adaptive=False)
+        weights = objective.base_weights
+        assert objective.gain(1.0, 10, 0, weights, replicas=2) < \
+            objective.gain(1.0, 10, 0, weights, replicas=1)
+
+    def test_current_weights_adaptive_uses_devices(self):
+        objective = PlacementObjective(100, 1000, adaptive=True)
+        devices = [TofinoDevice("t")]
+        fresh = objective.current_weights(devices)
+        devices[0].allocate_stage(0, {"salu": 4.0})
+        used = objective.current_weights(devices)
+        assert used.w_r > fresh.w_r

@@ -1,0 +1,195 @@
+"""Unit tests for topologies, equivalence classes and the reduced tree."""
+
+import pytest
+
+from repro.devices import TofinoDevice, XilinxFPGADevice
+from repro.exceptions import TopologyError
+from repro.topology import (
+    NetworkTopology,
+    HostGroup,
+    build_fattree,
+    build_paper_emulation_topology,
+    build_reduced_tree,
+    build_spineleaf,
+    compute_equivalence_classes,
+)
+from repro.topology.fattree import build_chain
+
+
+class TestNetworkTopology:
+    def test_duplicate_device_rejected(self):
+        topo = NetworkTopology()
+        topo.add_device(TofinoDevice("a"), layer="tor")
+        with pytest.raises(TopologyError):
+            topo.add_device(TofinoDevice("a"), layer="tor")
+
+    def test_link_requires_known_devices(self):
+        topo = NetworkTopology()
+        topo.add_device(TofinoDevice("a"), layer="tor")
+        with pytest.raises(TopologyError):
+            topo.add_link("a", "ghost")
+
+    def test_host_group_requires_known_tor(self):
+        topo = NetworkTopology()
+        with pytest.raises(TopologyError):
+            topo.add_host_group(HostGroup(name="g", tor="ghost"))
+
+    def test_bypass_attachment(self):
+        topo = NetworkTopology()
+        topo.add_device(TofinoDevice("sw"), layer="agg", pod=0)
+        topo.attach_bypass("sw", XilinxFPGADevice("acc"))
+        assert topo.bypass["sw"] == "acc"
+        assert topo.layers["acc"] == "accel"
+
+    def test_path_bandwidth_is_bottleneck(self):
+        topo = build_chain(3)
+        paths = topo.paths_between_groups("client", "server")
+        assert topo.path_bandwidth(paths[0]) == 100.0
+
+    def test_unknown_queries_raise(self):
+        topo = build_chain(2)
+        with pytest.raises(TopologyError):
+            topo.device("nope")
+        with pytest.raises(TopologyError):
+            topo.host_group("nope")
+        with pytest.raises(TopologyError):
+            topo.link("SW0", "SW0")
+
+    def test_reset_resources(self):
+        topo = build_chain(2)
+        topo.device("SW0").allocate_stage(0, {"alu": 5.0})
+        topo.reset_resources()
+        assert topo.total_utilisation() == pytest.approx(0.0)
+
+
+class TestBuilders:
+    def test_fattree_counts(self):
+        topo = build_fattree(k=4)
+        # k=4: 4 cores, 8 agg, 8 tor
+        assert len(topo.devices_in_layer("core")) == 4
+        assert len(topo.devices_in_layer("agg")) == 8
+        assert len(topo.devices_in_layer("tor")) == 8
+        assert len(topo.host_groups) == 8
+
+    def test_fattree_rejects_odd_k(self):
+        with pytest.raises(TopologyError):
+            build_fattree(k=3)
+
+    def test_fattree_multipath(self):
+        topo = build_fattree(k=4)
+        paths = topo.paths_between_groups("pod0(a)", "pod2(a)")
+        assert len(paths) >= 2
+        assert all(path[0] == "ToR0_0" for path in paths)
+
+    def test_spineleaf_structure(self):
+        topo = build_spineleaf(num_spines=3, num_leaves=4)
+        assert len(topo.devices_in_layer("core")) == 3
+        assert len(topo.devices_in_layer("tor")) == 4
+        paths = topo.paths_between_groups("rack0", "rack3")
+        assert len(paths) == 3
+        assert all(len(path) == 3 for path in paths)
+
+    def test_spineleaf_validation(self):
+        with pytest.raises(TopologyError):
+            build_spineleaf(num_spines=0)
+
+    def test_chain(self):
+        topo = build_chain(5)
+        paths = topo.paths_between_groups("client", "server")
+        assert paths == [["SW0", "SW1", "SW2", "SW3", "SW4"]]
+
+    def test_chain_needs_one_device(self):
+        with pytest.raises(TopologyError):
+            build_chain(0)
+
+    def test_paper_topology_shape(self):
+        topo = build_paper_emulation_topology()
+        assert len(topo.devices_in_layer("core")) == 4
+        assert len(topo.devices_in_layer("agg")) == 6
+        assert len(topo.devices_in_layer("tor")) == 6
+        assert len(topo.devices_in_layer("nic")) == 3
+        assert len(topo.devices_in_layer("accel")) == 2
+        assert set(topo.host_groups) == {
+            "pod0(a)", "pod0(b)", "pod1(a)", "pod1(b)", "pod2(a)", "pod2(b)"
+        }
+
+    def test_paper_topology_heterogeneity(self):
+        topo = build_paper_emulation_topology()
+        assert topo.device("ToR0").dev_type == "tofino"
+        assert topo.device("Agg0").dev_type == "td4"
+        assert topo.device("Agg4").dev_type == "tofino"
+        assert topo.device("Core0").dev_type == "tofino2"
+        assert topo.device("NIC_pod0b").dev_type == "nfp"
+        assert topo.device("BypassFPGA0").dev_type == "fpga"
+
+
+class TestEquivalenceClasses:
+    def test_parallel_devices_merge(self):
+        topo = build_paper_emulation_topology()
+        classes = {frozenset(c.members) for c in compute_equivalence_classes(topo)}
+        assert frozenset({"Core0", "Core1", "Core2", "Core3"}) in classes
+        assert frozenset({"Agg0", "Agg1"}) in classes
+        assert frozenset({"Agg4", "Agg5"}) in classes
+
+    def test_serial_devices_do_not_merge(self):
+        topo = build_chain(4)
+        classes = compute_equivalence_classes(topo)
+        assert all(len(c.members) == 1 for c in classes)
+
+    def test_spineleaf_spines_merge(self):
+        topo = build_spineleaf(num_spines=4, num_leaves=4)
+        classes = compute_equivalence_classes(topo)
+        spine_classes = [c for c in classes if c.layer == "core"]
+        assert len(spine_classes) == 1 and spine_classes[0].size == 4
+
+    def test_representative(self):
+        topo = build_paper_emulation_topology()
+        classes = compute_equivalence_classes(topo)
+        core = next(c for c in classes if c.layer == "core")
+        assert core.representative(topo).dev_type == "tofino2"
+
+
+class TestReducedTree:
+    def test_tree_sides_and_leaves(self):
+        topo = build_paper_emulation_topology()
+        tree = build_reduced_tree(topo, ["pod0(a)", "pod1(a)"], "pod2(b)")
+        assert tree.root.ec.layer == "core"
+        assert len(tree.client_leaves) == 2
+        assert len(tree.server_leaves) == 1
+        sides = {node.side for node in tree.all_nodes()}
+        assert sides == {"root", "client", "server"}
+
+    def test_traffic_shares_sum_on_client_side(self):
+        topo = build_paper_emulation_topology()
+        tree = build_reduced_tree(
+            topo, ["pod0(a)", "pod1(a)"], "pod2(b)",
+            traffic_rates={"pod0(a)": 30.0, "pod1(a)": 10.0},
+        )
+        client_leaf_shares = sorted(
+            round(n.traffic_share, 2)
+            for n in tree.all_nodes()
+            if n.name in tree.client_leaves
+        )
+        assert client_leaf_shares == [0.25, 0.75]
+
+    def test_server_side_carries_all_traffic(self):
+        topo = build_paper_emulation_topology()
+        tree = build_reduced_tree(topo, ["pod0(a)", "pod1(a)"], "pod2(b)")
+        for node in tree.server_subtree():
+            assert node.traffic_share == pytest.approx(1.0)
+
+    def test_bypass_attached_to_reduced_node(self):
+        topo = build_paper_emulation_topology()
+        tree = build_reduced_tree(topo, ["pod0(a)"], "pod2(b)")
+        agg_server = [n for n in tree.all_nodes() if n.ec.members == ["Agg4", "Agg5"]]
+        assert agg_server and set(agg_server[0].bypass) == {"BypassFPGA0", "BypassFPGA1"}
+
+    def test_chain_reduces_to_path(self):
+        topo = build_chain(4)
+        tree = build_reduced_tree(topo, ["client"], "server")
+        assert tree.device_count() == 4
+
+    def test_requires_sources(self):
+        topo = build_chain(2)
+        with pytest.raises(TopologyError):
+            build_reduced_tree(topo, [], "server")
