@@ -78,8 +78,15 @@ def register_generator(generator: CodeGenerator) -> None:
         _GENERATOR_REGISTRY[target] = generator
 
 
-def generate_for_device(device: Device, program: IRProgram) -> str:
-    """Generate device-specific source for *program* on *device*."""
+def generate_for_device(device: Device, program: IRProgram,
+                        cache: Optional[object] = None) -> str:
+    """Generate device-specific source for *program* on *device*.
+
+    When an :class:`~repro.core.cache.ArtifactCache` is passed, the generated
+    source is memoised under ``(program content hash, device model)``:
+    generation is deterministic per device type, so regenerating code for an
+    identical snippet on an identical device model is a cache hit.
+    """
     # imported lazily to avoid circular imports at module load time
     from repro.backend.p4 import P4Generator
     from repro.backend.npl import NPLGenerator
@@ -96,4 +103,15 @@ def generate_for_device(device: Device, program: IRProgram) -> str:
         raise BackendError(
             f"no backend registered for device type {device.dev_type!r}"
         )
-    return generator.generate(program)
+    if cache is None:
+        return generator.generate(program)
+
+    from repro.core.cache import fingerprint_ir
+
+    key = cache.make_key("codegen", device.dev_type, fingerprint_ir(program))
+    hit, code = cache.lookup(key)
+    if hit:
+        return code
+    code = generator.generate(program)
+    cache.store(key, code)
+    return code

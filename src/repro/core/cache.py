@@ -1,0 +1,220 @@
+"""Content-addressed artifact cache for the compilation pipeline.
+
+ClickINC is a *service*: many tenants deploy instances of the same template
+apps onto a shared network, so most compilation work repeats.  The
+:class:`ArtifactCache` memoises the expensive pipeline artifacts behind
+stable content hashes:
+
+* ``program`` — compiled :class:`~repro.ir.program.IRProgram`s, keyed by the
+  compile inputs (template profile, or source text + constants + header
+  fields).  Program names are excluded from the key; a hit is re-branded to
+  the requesting tenant's name.
+* ``plan`` — :class:`~repro.placement.plan.PlacementPlan`s, keyed by the
+  name-normalised program fingerprint, the placement request parameters and
+  a fingerprint of the topology's current resource allocations.  Releasing a
+  program restores the fingerprint, so re-deploying a template app after a
+  removal is a pure cache hit.
+* ``codegen`` — generated backend source, keyed by (snippet fingerprint,
+  device model).
+
+Keys are namespaced SHA-256 digests of a canonical JSON rendering of the
+inputs, so any change to the inputs produces a different address.  The cache
+is safe to share between the concurrent compile workers of
+``ClickINC.deploy_many``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.ir.program import IRProgram
+from repro.topology.network import NetworkTopology
+
+#: Placeholder substituted for the program's own name when fingerprinting
+#: with ``normalize_name=True`` (so identical programs deployed under
+#: different tenant names share one address).
+_NAME_ALIAS = "@program"
+
+
+def canonical_json(payload: Any) -> str:
+    """Deterministic JSON rendering used for all cache keys."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"), default=str)
+
+
+def content_key(namespace: str, *parts: Any) -> str:
+    """Build a namespaced content address from arbitrary JSON-able parts."""
+    digest = hashlib.sha256(canonical_json(list(parts)).encode("utf-8")).hexdigest()
+    return f"{namespace}:{digest}"
+
+
+def fingerprint_ir(program: IRProgram, normalize_name: bool = False) -> str:
+    """Stable content hash of an IR program.
+
+    With ``normalize_name=True`` the program's own name is replaced by a
+    placeholder wherever it appears (name, state owners, instruction owners
+    and annotations), so two tenants' copies of the same compiled template
+    hash identically.
+    """
+    own_name = program.name
+
+    def norm(owner: Optional[str]) -> Optional[str]:
+        if normalize_name and owner == own_name:
+            return _NAME_ALIAS
+        return owner
+
+    payload = {
+        "name": norm(own_name) if normalize_name else own_name,
+        "header_fields": sorted(
+            (f.name, f.width, f.is_vector, f.length)
+            for f in program.header_fields.values()
+        ),
+        "states": sorted(
+            (s.name, s.kind.value, s.rows, s.size, s.width, s.key_width,
+             norm(s.owner))
+            for s in program.states.values()
+        ),
+        "instructions": [
+            (
+                instr.opcode.value,
+                instr.dst,
+                list(instr.operands),
+                instr.state,
+                instr.guard,
+                instr.guard_negated,
+                instr.width,
+                norm(instr.owner),
+                sorted(norm(a) for a in instr.annotations),
+            )
+            for instr in program
+        ],
+    }
+    return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
+
+
+def topology_resource_fingerprint(topology: NetworkTopology) -> str:
+    """Hash of every device's current resource allocations.
+
+    Placement decisions depend only on the topology's structure (static) and
+    on what is currently allocated on each device, so this fingerprint is the
+    part of a placement cache key that tracks the mutable world: committing a
+    plan changes it, releasing the same plan restores it.
+    """
+    payload = [
+        (
+            name,
+            sorted(device.deployed_programs),
+            [sorted(stage.used.items()) for stage in device.stages],
+        )
+        for name, device in sorted(topology.devices.items())
+    ]
+    return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters for one key namespace."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class ArtifactCache:
+    """Thread-safe, content-addressed LRU cache for pipeline artifacts.
+
+    Parameters
+    ----------
+    max_entries:
+        Upper bound on stored artifacts; the least recently used entry is
+        evicted beyond it.
+    """
+
+    def __init__(self, max_entries: int = 1024) -> None:
+        if max_entries <= 0:
+            raise ValueError("max_entries must be positive")
+        self.max_entries = max_entries
+        self._lock = threading.RLock()
+        self._entries: "OrderedDict[str, object]" = OrderedDict()
+        self._stats: Dict[str, CacheStats] = {}
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def make_key(namespace: str, *parts: Any) -> str:
+        return content_key(namespace, *parts)
+
+    def _namespace_of(self, key: str) -> str:
+        return key.split(":", 1)[0]
+
+    def lookup(self, key: str) -> Tuple[bool, Optional[object]]:
+        """Return ``(hit, value)``; a hit refreshes the entry's LRU position."""
+        with self._lock:
+            stats = self._stats.setdefault(self._namespace_of(key), CacheStats())
+            if key in self._entries:
+                stats.hits += 1
+                self._entries.move_to_end(key)
+                return True, self._entries[key]
+            stats.misses += 1
+            return False, None
+
+    def store(self, key: str, value: object) -> None:
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+
+    def invalidate(self, namespace: Optional[str] = None) -> int:
+        """Drop all entries (or only one namespace's); returns count dropped."""
+        with self._lock:
+            if namespace is None:
+                dropped = len(self._entries)
+                self._entries.clear()
+                return dropped
+            victims = [
+                key for key in self._entries
+                if self._namespace_of(key) == namespace
+            ]
+            for key in victims:
+                del self._entries[key]
+            return len(victims)
+
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def stats(self) -> Dict[str, CacheStats]:
+        """Per-namespace hit/miss counters (copies, safe to keep)."""
+        with self._lock:
+            return {
+                ns: CacheStats(hits=s.hits, misses=s.misses)
+                for ns, s in self._stats.items()
+            }
+
+    def summary(self) -> Dict[str, object]:
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "max_entries": self.max_entries,
+                **{
+                    ns: {"hits": s.hits, "misses": s.misses,
+                         "hit_rate": round(s.hit_rate, 3)}
+                    for ns, s in self._stats.items()
+                },
+            }

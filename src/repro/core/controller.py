@@ -16,15 +16,28 @@ This is the user-facing entry point of the library.  A typical session:
                                   destination_group=app.destination_group)
     metrics = inc.run_traffic(app.workload().packets(1000))
     inc.remove("kvs_0")
+
+Deployment itself is delegated to the staged
+:class:`~repro.core.pipeline.CompilationPipeline`, which memoises compiled
+programs, placement plans and generated backend code in a shared
+:class:`~repro.core.cache.ArtifactCache` and rolls back mid-pipeline
+failures.  ``deploy_many`` batches independent requests: their pure compile
+stages run concurrently, their commits run sequentially in request order, so
+a batch is deterministic and produces the placements of the equivalent
+serial loop.
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-from repro.backend.codegen import generate_for_device
+from repro.core.cache import ArtifactCache
+from repro.core.pipeline import (
+    CompilationPipeline,
+    DeployedProgram,
+    DeployRequest,
+    PipelineReport,
+)
 from repro.emulator.metrics import RunMetrics
 from repro.emulator.network import NetworkEmulator
 from repro.emulator.packet import Packet
@@ -32,33 +45,19 @@ from repro.exceptions import DeploymentError
 from repro.frontend.compiler import FrontendCompiler
 from repro.ir.program import IRProgram
 from repro.lang.profile import Profile
-from repro.placement.dp import DPPlacer, PlacementRequest
-from repro.placement.plan import PlacementPlan
+from repro.placement.dp import DPPlacer
 from repro.synthesis.incremental import IncrementalSynthesizer, SynthesisDelta
 from repro.topology.network import NetworkTopology
 
-
-@dataclass
-class DeployedProgram:
-    """Book-keeping for one deployed user program."""
-
-    name: str
-    plan: PlacementPlan
-    delta: SynthesisDelta
-    source_groups: List[str]
-    destination_group: str
-    device_sources: Dict[str, str] = field(default_factory=dict)
-    deploy_time_s: float = 0.0
-
-    def devices(self) -> List[str]:
-        return self.plan.devices_used()
+__all__ = ["ClickINC", "DeployedProgram"]
 
 
 class ClickINC:
     """The ClickINC in-network-computing service controller."""
 
     def __init__(self, topology: NetworkTopology, incremental: bool = True,
-                 adaptive_weights: bool = True, generate_code: bool = True) -> None:
+                 adaptive_weights: bool = True, generate_code: bool = True,
+                 cache: Optional[ArtifactCache] = None) -> None:
         self.topology = topology
         self.compiler = FrontendCompiler()
         self.placer = DPPlacer(topology)
@@ -66,6 +65,17 @@ class ClickINC:
         self.emulator = NetworkEmulator(topology)
         self.adaptive_weights = adaptive_weights
         self.generate_code = generate_code
+        self.cache = cache if cache is not None else ArtifactCache()
+        self.pipeline = CompilationPipeline(
+            topology=topology,
+            compiler=self.compiler,
+            placer=self.placer,
+            synthesizer=self.synthesizer,
+            emulator=self.emulator,
+            cache=self.cache,
+            generate_code=generate_code,
+            adaptive_weights=adaptive_weights,
+        )
         self.deployed: Dict[str, DeployedProgram] = {}
 
     # ------------------------------------------------------------------ #
@@ -73,69 +83,104 @@ class ClickINC:
     # ------------------------------------------------------------------ #
     def deploy_profile(self, profile: Profile, source_groups: Sequence[str],
                        destination_group: str,
-                       name: Optional[str] = None) -> DeployedProgram:
+                       name: Optional[str] = None,
+                       traffic_rates: Optional[Dict[str, float]] = None
+                       ) -> DeployedProgram:
         """Deploy a template-based program described by *profile*."""
-        program_name = name or f"{profile.app.lower()}_{profile.user}"
-        program = self.compiler.compile_profile(profile, name=program_name)
-        return self.deploy_program(program, source_groups, destination_group)
+        return self._deploy(DeployRequest(
+            source_groups=list(source_groups),
+            destination_group=destination_group,
+            name=name,
+            profile=profile,
+            traffic_rates=traffic_rates,
+        ))
 
     def deploy_source(self, source: str, source_groups: Sequence[str],
                       destination_group: str, name: str,
                       constants: Optional[Dict[str, object]] = None,
-                      header_fields: Optional[Dict[str, int]] = None
+                      header_fields: Optional[Dict[str, int]] = None,
+                      traffic_rates: Optional[Dict[str, float]] = None
                       ) -> DeployedProgram:
         """Deploy a hand-written ClickINC program."""
-        program = self.compiler.compile_source(
-            source, name=name, constants=constants, header_fields=header_fields
-        )
-        return self.deploy_program(program, source_groups, destination_group)
+        return self._deploy(DeployRequest(
+            source_groups=list(source_groups),
+            destination_group=destination_group,
+            name=name,
+            source=source,
+            constants=constants,
+            header_fields=header_fields,
+            traffic_rates=traffic_rates,
+        ))
 
     def deploy_program(self, program: IRProgram, source_groups: Sequence[str],
                        destination_group: str,
-                       traffic_rates: Optional[Dict[str, float]] = None
-                       ) -> DeployedProgram:
-        """Place, synthesise, and install an already-compiled IR program."""
-        if program.name in self.deployed:
-            raise DeploymentError(f"program {program.name!r} is already deployed")
-        start = time.perf_counter()
-        request = PlacementRequest(
+                       traffic_rates: Optional[Dict[str, float]] = None,
+                       name: Optional[str] = None) -> DeployedProgram:
+        """Place, synthesise, and install an already-compiled IR program.
+
+        When *name* is given the program is deployed under it (the IR is
+        re-owned accordingly); otherwise the program's own name is used.
+        """
+        return self._deploy(DeployRequest(
+            source_groups=list(source_groups),
+            destination_group=destination_group,
+            name=name,
             program=program,
-            source_groups=list(source_groups),
-            destination_group=destination_group,
             traffic_rates=traffic_rates,
-            adaptive_weights=self.adaptive_weights,
-        )
-        plan = self.placer.place(request)
-        self.placer.commit(plan)
-        delta = self.synthesizer.add_program(plan)
-        self.emulator.deploy(plan, source_groups, destination_group)
+        ))
 
-        device_sources: Dict[str, str] = {}
-        if self.generate_code:
-            for device_name, snippet in plan.device_snippets().items():
-                device = self.topology.device(device_name)
-                device_sources[device_name] = generate_for_device(device, snippet)
+    def _deploy(self, request: DeployRequest) -> DeployedProgram:
+        name = request.resolved_name()
+        if name in self.deployed:
+            raise DeploymentError(f"program {name!r} is already deployed")
+        report = self.pipeline.run(request)
+        self.deployed[report.program_name] = report.deployed
+        return report.deployed
 
-        deployed = DeployedProgram(
-            name=program.name,
-            plan=plan,
-            delta=delta,
-            source_groups=list(source_groups),
-            destination_group=destination_group,
-            device_sources=device_sources,
-            deploy_time_s=time.perf_counter() - start,
-        )
-        self.deployed[program.name] = deployed
-        return deployed
+    def deploy_many(self, requests: Sequence[DeployRequest],
+                    max_workers: Optional[int] = None) -> List[PipelineReport]:
+        """Deploy a batch of independent requests.
+
+        Pure compile stages run concurrently on a thread pool; placement,
+        synthesis and emulator installs commit sequentially in request order,
+        so the batch produces exactly the placements (and name-collision
+        behaviour) of a serial loop over the same requests.  Returns one
+        :class:`PipelineReport` per request, in request order; failed
+        requests carry ``succeeded=False`` and an ``error`` instead of
+        aborting the batch.  A duplicate name fails at the ``validation``
+        stage only if the earlier holder of the name actually deployed.
+        """
+        reports = self.pipeline.run_many(list(requests),
+                                         max_workers=max_workers)
+        for report in reports:
+            if report.succeeded:
+                self.deployed[report.program_name] = report.deployed
+        return reports
 
     def remove(self, name: str, lazy: bool = True) -> SynthesisDelta:
-        """Remove a deployed program, releasing its resources."""
-        deployed = self.deployed.pop(name, None)
+        """Remove a deployed program, releasing its resources.
+
+        Removal is atomic with respect to the controller's book-keeping: the
+        program stays registered until every layer released it, and a failure
+        mid-removal re-installs the already-released layers before
+        re-raising, so no resources are stranded without a record.
+        """
+        deployed = self.deployed.get(name)
         if deployed is None:
             raise DeploymentError(f"program {name!r} is not deployed")
         delta = self.synthesizer.remove_program(name, lazy=lazy)
-        self.placer.release(deployed.plan)
-        self.emulator.undeploy(name)
+        try:
+            self.placer.release(deployed.plan)
+        except Exception:
+            self.synthesizer.add_program(deployed.plan)
+            raise
+        try:
+            self.emulator.undeploy(name)
+        except Exception:
+            self.placer.commit(deployed.plan)
+            self.synthesizer.add_program(deployed.plan)
+            raise
+        del self.deployed[name]
         return delta
 
     # ------------------------------------------------------------------ #
@@ -159,6 +204,10 @@ class ClickINC:
 
     def network_utilisation(self) -> float:
         return self.topology.total_utilisation()
+
+    def cache_summary(self) -> Dict[str, object]:
+        """Hit/miss statistics of the shared artifact cache."""
+        return self.cache.summary()
 
     def generated_code(self, name: str, device_name: str) -> str:
         deployed = self.deployed.get(name)

@@ -1,0 +1,501 @@
+"""The staged compilation pipeline behind the ClickINC controller.
+
+A deployment is an explicit sequence of named stages::
+
+    frontend -> ir-verify -> placement -> synthesis -> emulator-install -> codegen
+
+The first two stages are *pure*: they read nothing but the request and the
+shared :class:`~repro.core.cache.ArtifactCache`, so independent requests can
+run them concurrently (``run_many``).  The remaining stages *commit* shared
+state — device resources, synthesised executables, emulator runtimes — and
+run sequentially in request order, which keeps batched deployment
+deterministic: a batch produces exactly the placements the equivalent serial
+loop would.
+
+Every stage appends a :class:`StageRecord` (duration, cache-hit flag,
+diagnostics) to the deployment's :class:`PipelineReport`.  If a commit stage
+fails, the stages already committed are rolled back in reverse order, so a
+mid-pipeline failure leaves the placer, synthesizer and emulator exactly as
+they were before the deployment started.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.backend.codegen import generate_for_device
+from repro.core.cache import (
+    ArtifactCache,
+    CacheStats,
+    fingerprint_ir,
+    topology_resource_fingerprint,
+)
+from repro.emulator.network import NetworkEmulator
+from repro.exceptions import DeploymentError
+from repro.frontend.compiler import (
+    FrontendCompiler,
+    profile_compile_key,
+    source_compile_key,
+)
+from repro.ir.program import IRProgram
+from repro.ir.verify import verify_program
+from repro.lang.profile import Profile
+from repro.placement.blocks import BlockDAG
+from repro.placement.dp import DPPlacer, PlacementRequest
+from repro.placement.plan import PlacementPlan
+from repro.synthesis.incremental import IncrementalSynthesizer, SynthesisDelta
+from repro.topology.network import NetworkTopology
+
+#: Canonical stage order of one deployment.
+STAGE_ORDER = (
+    "frontend",
+    "ir-verify",
+    "placement",
+    "synthesis",
+    "emulator-install",
+    "codegen",
+)
+
+
+@dataclass
+class DeployRequest:
+    """One tenant's deployment request, in any of the three input forms.
+
+    Exactly one of ``profile`` (template app), ``source`` (hand-written
+    ClickINC program) or ``program`` (pre-compiled IR) must be given.
+    """
+
+    source_groups: Sequence[str]
+    destination_group: str
+    name: Optional[str] = None
+    profile: Optional[Profile] = None
+    source: Optional[str] = None
+    program: Optional[IRProgram] = None
+    constants: Optional[Dict[str, object]] = None
+    header_fields: Optional[Dict[str, int]] = None
+    traffic_rates: Optional[Dict[str, float]] = None
+
+    def __post_init__(self) -> None:
+        inputs = [x is not None for x in (self.profile, self.source, self.program)]
+        if sum(inputs) != 1:
+            raise DeploymentError(
+                "a DeployRequest needs exactly one of profile/source/program"
+            )
+        if self.source is not None and not self.name:
+            raise DeploymentError("source-based requests must carry a name")
+
+    def resolved_name(self) -> str:
+        if self.name:
+            return self.name
+        if self.profile is not None:
+            return f"{self.profile.app.lower()}_{self.profile.user}"
+        return self.program.name  # program path; source path always has a name
+
+
+@dataclass
+class StageRecord:
+    """Timing + diagnostics of one pipeline stage of one deployment."""
+
+    name: str
+    duration_s: float
+    cache_hit: bool = False
+    detail: Dict[str, object] = field(default_factory=dict)
+
+
+@dataclass
+class DeployedProgram:
+    """Book-keeping for one deployed user program."""
+
+    name: str
+    plan: PlacementPlan
+    delta: SynthesisDelta
+    source_groups: List[str]
+    destination_group: str
+    device_sources: Dict[str, str] = field(default_factory=dict)
+    deploy_time_s: float = 0.0
+    report: Optional["PipelineReport"] = None
+
+    def devices(self) -> List[str]:
+        return self.plan.devices_used()
+
+
+@dataclass
+class PipelineReport:
+    """Per-deployment result: stage records plus the outcome."""
+
+    program_name: str
+    stages: List[StageRecord] = field(default_factory=list)
+    total_s: float = 0.0
+    succeeded: bool = False
+    error: Optional[str] = None
+    failed_stage: Optional[str] = None
+    deployed: Optional[DeployedProgram] = None
+
+    def stage(self, name: str) -> StageRecord:
+        for record in self.stages:
+            if record.name == name:
+                return record
+        raise KeyError(f"no stage record named {name!r}")
+
+    def cache_hits(self) -> List[str]:
+        return [record.name for record in self.stages if record.cache_hit]
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "program": self.program_name,
+            "succeeded": self.succeeded,
+            "total_s": round(self.total_s, 4),
+            "failed_stage": self.failed_stage,
+            "stages": {
+                record.name: {
+                    "duration_s": round(record.duration_s, 6),
+                    "cache_hit": record.cache_hit,
+                }
+                for record in self.stages
+            },
+        }
+
+
+def rebrand_plan(plan: PlacementPlan, program: IRProgram) -> PlacementPlan:
+    """Re-own a cached placement plan for *program*.
+
+    The cached plan was computed for an identical program content under a
+    (possibly) different name; block instruction uids are assigned
+    sequentially by compilation order, so they transfer unchanged.  The
+    returned plan shares the immutable search artifacts (blocks, DAG edges,
+    dependency graph, stage assignments) but carries the new owner, so the
+    snippets it materialises are annotated for the new tenant.
+    """
+    dag = plan.block_dag
+    if len(program) != len(dag.program):
+        raise DeploymentError(
+            f"cached plan for {dag.program.name!r} does not match program "
+            f"{program.name!r} ({len(dag.program)} vs {len(program)} instructions)"
+        )
+    new_dag = BlockDAG(
+        program=program,
+        blocks=list(dag.blocks),
+        graph=dag.graph,
+        dependency=dag.dependency,
+    )
+    return PlacementPlan(
+        program_name=program.name,
+        block_dag=new_dag,
+        assignments=[
+            replace(a, device_names=list(a.device_names),
+                    stage_assignments=dict(a.stage_assignments))
+            for a in plan.assignments
+        ],
+        gain=plan.gain,
+        algorithm=plan.algorithm,
+        compile_time_s=plan.compile_time_s,
+        served_traffic_fraction=plan.served_traffic_fraction,
+        transfer_bits=plan.transfer_bits,
+        metadata=dict(plan.metadata),
+    )
+
+
+class CompilationPipeline:
+    """Runs deployments as an explicit staged pipeline over shared backends."""
+
+    def __init__(
+        self,
+        topology: NetworkTopology,
+        compiler: FrontendCompiler,
+        placer: DPPlacer,
+        synthesizer: IncrementalSynthesizer,
+        emulator: NetworkEmulator,
+        cache: Optional[ArtifactCache] = None,
+        generate_code: bool = True,
+        adaptive_weights: bool = True,
+    ) -> None:
+        self.topology = topology
+        self.compiler = compiler
+        self.placer = placer
+        self.synthesizer = synthesizer
+        self.emulator = emulator
+        self.cache = cache if cache is not None else ArtifactCache()
+        self.generate_code = generate_code
+        self.adaptive_weights = adaptive_weights
+
+    # ------------------------------------------------------------------ #
+    # pure stages (safe to run concurrently across requests)
+    # ------------------------------------------------------------------ #
+    def program_cache_key(self, request: DeployRequest) -> Optional[str]:
+        """The ``program`` cache address of *request*, or None if precompiled."""
+        if request.program is not None:
+            return None
+        if request.profile is not None:
+            return self.cache.make_key(
+                "program", profile_compile_key(request.profile)
+            )
+        return self.cache.make_key(
+            "program",
+            source_compile_key(request.source, request.constants,
+                               request.header_fields),
+        )
+
+    def compile_stages(self, request: DeployRequest
+                       ) -> Tuple[IRProgram, List[StageRecord]]:
+        """Run ``frontend`` and ``ir-verify`` for one request."""
+        records: List[StageRecord] = []
+        name = request.resolved_name()
+
+        start = time.perf_counter()
+        stage = "frontend"
+        try:
+            hit = False
+            if request.program is not None:
+                program = request.program
+                if program.name != name:
+                    program = program.rebrand(name)
+                detail: Dict[str, object] = {"kind": "precompiled"}
+            else:
+                kind = "profile" if request.profile is not None else "source"
+                key = self.program_cache_key(request)
+                hit, cached = self.cache.lookup(key)
+                if hit:
+                    program = cached.rebrand(name)
+                elif request.profile is not None:
+                    program = self.compiler.compile_profile(request.profile,
+                                                            name=name)
+                else:
+                    program = self.compiler.compile_source(
+                        request.source, name=name, constants=request.constants,
+                        header_fields=request.header_fields,
+                    )
+                detail = {"kind": kind, "instructions": len(program)}
+            records.append(StageRecord(stage, time.perf_counter() - start,
+                                       cache_hit=hit, detail=detail))
+
+            stage = "ir-verify"
+            start = time.perf_counter()
+            verify_program(program)
+            records.append(StageRecord(stage, time.perf_counter() - start))
+            if request.program is None and not hit:
+                # only verified programs enter the content-addressed store
+                self.cache.store(key, program)
+        except Exception as exc:
+            setattr(exc, "pipeline_stage", stage)
+            raise
+        return program, records
+
+    # ------------------------------------------------------------------ #
+    # commit stages (sequential; mutate shared placer/synth/emulator state)
+    # ------------------------------------------------------------------ #
+    def commit_stages(self, program: IRProgram, request: DeployRequest,
+                      records: List[StageRecord]) -> DeployedProgram:
+        """Run placement → synthesis → emulator-install → codegen.
+
+        On failure every already-committed stage is rolled back in reverse
+        order before the original exception is re-raised (annotated with a
+        ``pipeline_stage`` attribute naming the failing stage).
+        """
+        name = program.name
+        undo: List = []
+        stage = "validation"
+        try:
+            if name in self.synthesizer.plans:
+                raise DeploymentError(f"program {name!r} is already deployed")
+            stage = "placement"
+            start = time.perf_counter()
+            placement_request = PlacementRequest(
+                program=program,
+                source_groups=list(request.source_groups),
+                destination_group=request.destination_group,
+                traffic_rates=dict(request.traffic_rates)
+                if request.traffic_rates else None,
+                adaptive_weights=self.adaptive_weights,
+            )
+            plan, hit = self._place_cached(placement_request)
+            self.placer.commit(plan)
+            undo.append(lambda: self.placer.release(plan))
+            records.append(StageRecord(
+                stage, time.perf_counter() - start, cache_hit=hit,
+                detail={"devices": plan.devices_used(),
+                        "gain": round(plan.gain, 4)},
+            ))
+
+            stage = "synthesis"
+            start = time.perf_counter()
+            delta = self.synthesizer.add_program(plan)
+            undo.append(lambda: self.synthesizer.rollback_add(name))
+            records.append(StageRecord(
+                stage, time.perf_counter() - start,
+                detail={"affected_devices": delta.num_affected_devices},
+            ))
+
+            stage = "emulator-install"
+            start = time.perf_counter()
+            self.emulator.deploy(plan, request.source_groups,
+                                 request.destination_group)
+            undo.append(lambda: self.emulator.rollback_deploy(name))
+            records.append(StageRecord(stage, time.perf_counter() - start))
+
+            stage = "codegen"
+            start = time.perf_counter()
+            device_sources: Dict[str, str] = {}
+            hits_before = self.cache.stats().get("codegen", CacheStats()).hits
+            if self.generate_code:
+                for device_name, snippet in plan.device_snippets().items():
+                    device = self.topology.device(device_name)
+                    device_sources[device_name] = generate_for_device(
+                        device, snippet, cache=self.cache
+                    )
+            hits_after = self.cache.stats().get("codegen", CacheStats()).hits
+            all_hit = bool(device_sources) and (
+                hits_after - hits_before == len(device_sources)
+            )
+            records.append(StageRecord(
+                stage, time.perf_counter() - start, cache_hit=all_hit,
+                detail={"devices": sorted(device_sources)},
+            ))
+        except Exception as exc:
+            rollback_errors = []
+            for action in reversed(undo):
+                try:
+                    action()
+                except Exception as rollback_exc:  # keep the original error
+                    rollback_errors.append(repr(rollback_exc))
+            setattr(exc, "pipeline_stage", stage)
+            if rollback_errors:
+                setattr(exc, "pipeline_rollback_errors", rollback_errors)
+            raise
+
+        return DeployedProgram(
+            name=name,
+            plan=plan,
+            delta=delta,
+            source_groups=list(request.source_groups),
+            destination_group=request.destination_group,
+            device_sources=device_sources,
+        )
+
+    def _place_cached(self, placement_request: PlacementRequest
+                      ) -> Tuple[PlacementPlan, bool]:
+        """Placement with content-addressed memoisation.
+
+        The key covers the name-normalised program content, every placement
+        parameter, and a fingerprint of the topology's current allocations —
+        so a hit is only possible when the DP search would provably retrace
+        the cached run.
+        """
+        program = placement_request.program
+        key = self.cache.make_key(
+            "plan",
+            fingerprint_ir(program, normalize_name=True),
+            list(placement_request.source_groups),
+            placement_request.destination_group,
+            placement_request.traffic_rates or {},
+            placement_request.max_block_size,
+            placement_request.use_blocks,
+            placement_request.adaptive_weights,
+            placement_request.prune,
+            topology_resource_fingerprint(self.topology),
+        )
+        hit, cached = self.cache.lookup(key)
+        if hit:
+            return rebrand_plan(cached, program), True
+        plan = self.placer.place(placement_request)
+        self.cache.store(key, plan)
+        return plan, False
+
+    # ------------------------------------------------------------------ #
+    # drivers
+    # ------------------------------------------------------------------ #
+    def run(self, request: DeployRequest) -> PipelineReport:
+        """Deploy one request through all six stages.
+
+        Exceptions propagate to the caller (annotated with the failing stage)
+        after rollback; use :meth:`run_many` for the error-capturing batch
+        behaviour.
+        """
+        start = time.perf_counter()
+        report = PipelineReport(program_name=request.resolved_name())
+        program, records = self.compile_stages(request)
+        report.stages = records
+        report.program_name = program.name
+        deployed = self.commit_stages(program, request, records)
+        report.total_s = time.perf_counter() - start
+        report.succeeded = True
+        report.deployed = deployed
+        deployed.deploy_time_s = report.total_s
+        deployed.report = report
+        return report
+
+    def run_many(self, requests: Sequence[DeployRequest],
+                 max_workers: Optional[int] = None) -> List[PipelineReport]:
+        """Deploy a batch: concurrent pure-compile, sequential commit.
+
+        Reports are returned in request order.  A failing request is captured
+        in its report (``succeeded=False``, ``error``, ``failed_stage``) and
+        does not abort the remainder of the batch; its partial commits are
+        rolled back.
+        """
+        requests = list(requests)
+        if not requests:
+            return []
+        reports = [
+            PipelineReport(program_name=request.resolved_name())
+            for request in requests
+        ]
+        start_times = [time.perf_counter()] * len(requests)
+        compiled: List[Optional[Tuple[IRProgram, List[StageRecord]]]] = (
+            [None] * len(requests)
+        )
+        # single-flight: requests sharing a compile key ride on one leader
+        # compilation — followers run after the leaders and hit the cache
+        leaders: List[int] = []
+        followers: List[int] = []
+        seen_keys: set = set()
+        for index, request in enumerate(requests):
+            key = self.program_cache_key(request)
+            if key is None or key not in seen_keys:
+                leaders.append(index)
+                if key is not None:
+                    seen_keys.add(key)
+            else:
+                followers.append(index)
+
+        workers = max_workers or min(8, len(requests))
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            for wave in (leaders, followers):
+                futures = {
+                    index: pool.submit(self.compile_stages, requests[index])
+                    for index in wave
+                }
+                for index, future in futures.items():
+                    try:
+                        compiled[index] = future.result()
+                    except Exception as exc:
+                        reports[index].succeeded = False
+                        reports[index].error = str(exc)
+                        reports[index].failed_stage = getattr(
+                            exc, "pipeline_stage", "frontend"
+                        )
+
+        for index, request in enumerate(requests):
+            report = reports[index]
+            if compiled[index] is None:
+                report.total_s = time.perf_counter() - start_times[index]
+                continue
+            program, records = compiled[index]
+            report.stages = records
+            report.program_name = program.name
+            try:
+                deployed = self.commit_stages(program, request, records)
+            except Exception as exc:
+                report.succeeded = False
+                report.error = str(exc)
+                report.failed_stage = getattr(exc, "pipeline_stage", None)
+                report.total_s = time.perf_counter() - start_times[index]
+                continue
+            report.total_s = time.perf_counter() - start_times[index]
+            report.succeeded = True
+            report.deployed = deployed
+            deployed.deploy_time_s = report.total_s
+            deployed.report = report
+        return reports

@@ -77,6 +77,22 @@ class NetworkEmulator:
             if runtime is not None:
                 runtime.remove_snippet(owner)
 
+    def rollback_deploy(self, owner: str) -> List[str]:
+        """Undo a (possibly partial) :meth:`deploy` of *owner*.
+
+        Used by the deployment pipeline when an install fails part-way: some
+        runtimes may already hold the snippet while no deployment context was
+        registered yet.  Every runtime is scrubbed; returns the devices that
+        were cleaned.
+        """
+        self.deployments.pop(owner, None)
+        cleaned: List[str] = []
+        for device_name, runtime in self.runtimes.items():
+            if owner in runtime.installed_owners():
+                runtime.remove_snippet(owner)
+                cleaned.append(device_name)
+        return cleaned
+
     # ------------------------------------------------------------------ #
     # packet processing
     # ------------------------------------------------------------------ #

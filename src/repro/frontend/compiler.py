@@ -83,6 +83,38 @@ class FrontendCompiler:
         )
 
 
+def source_compile_key(source: str,
+                       constants: Optional[Dict[str, object]] = None,
+                       header_fields: Optional[Dict[str, int]] = None) -> str:
+    """Stable, name-independent content key for a source compilation.
+
+    Two :meth:`FrontendCompiler.compile_source` calls with equal keys produce
+    IR programs that differ only in their name / ownership metadata, so the
+    artifact cache can serve one under the other's name via
+    :meth:`~repro.ir.program.IRProgram.rebrand`.
+    """
+    from repro.core.cache import canonical_json
+
+    return canonical_json(
+        ["source", source, dict(constants or {}), dict(header_fields or {})]
+    )
+
+
+def profile_compile_key(profile: Profile) -> str:
+    """Stable, tenant-independent content key for a template compilation.
+
+    The submitting user's id is excluded: template rendering depends only on
+    the app id, the performance parameters, the traffic spec and the packet
+    format, so two tenants instantiating the same template configuration
+    share one compiled program.
+    """
+    from repro.core.cache import canonical_json
+
+    payload = profile.to_dict()
+    payload.pop("user", None)
+    return canonical_json(["profile", payload])
+
+
 def compile_source(source: str, name: str = "user_program",
                    constants: Optional[Dict[str, object]] = None,
                    header_fields: Optional[Dict[str, int]] = None) -> IRProgram:

@@ -9,7 +9,7 @@ matches the single-pass pipeline constraint of programmable switches
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.exceptions import IRError
@@ -216,6 +216,33 @@ class IRProgram:
             clone.declare_header_field(fld)
         for instr in self._instructions:
             clone.append(instr.copy())
+        return clone
+
+    def rebrand(self, new_name: str) -> "IRProgram":
+        """Return a copy re-owned by *new_name*.
+
+        Unlike :meth:`copy`, every owner annotation that pointed at the old
+        program name — instruction owners/annotations and state owners — is
+        rewritten to *new_name*.  This is how the artifact cache hands one
+        compiled template out to many tenants: the instruction stream is
+        shared content, the ownership metadata is per-tenant.
+        """
+        old_name = self.name
+        clone = IRProgram(new_name)
+        for state in self._states.values():
+            if state.owner == old_name:
+                state = replace(state, owner=new_name)
+            clone.declare_state(state)
+        for fld in self._header_fields.values():
+            clone.declare_header_field(fld)
+        for instr in self._instructions:
+            kept = instr.copy()
+            if kept.owner == old_name:
+                kept.owner = new_name
+            kept.annotations = {
+                new_name if a == old_name else a for a in kept.annotations
+            }
+            clone.append(kept)
         return clone
 
     def renamed(self, prefix: str) -> "IRProgram":

@@ -140,6 +140,22 @@ class IncrementalSynthesizer:
         self.plans[owner] = plan
         return delta
 
+    def rollback_add(self, owner: str) -> List[str]:
+        """Undo a (possibly partial) :meth:`add_program` for *owner*.
+
+        Used by the deployment pipeline when a later stage fails: unlike
+        :meth:`remove_program` it tolerates a merge that only reached some of
+        the plan's devices, scrubbing whatever was applied.  Returns the
+        devices that were cleaned.
+        """
+        self.plans.pop(owner, None)
+        cleaned: List[str] = []
+        for device_name, executable in self.executables.items():
+            if owner in executable.snippets:
+                remove_from_executable(executable, owner, lazy=False)
+                cleaned.append(device_name)
+        return cleaned
+
     def remove_program(self, owner: str, lazy: bool = True) -> SynthesisDelta:
         """Remove *owner*'s program from every device hosting it."""
         plan = self.plans.pop(owner, None)

@@ -1,0 +1,142 @@
+"""Tests for the content-addressed artifact cache and its fingerprints."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.cache import (
+    ArtifactCache,
+    canonical_json,
+    content_key,
+    fingerprint_ir,
+    topology_resource_fingerprint,
+)
+from repro.frontend import compile_template
+from repro.frontend.compiler import profile_compile_key, source_compile_key
+from repro.lang.profile import default_profile
+from repro.placement.dp import DPPlacer, PlacementRequest
+
+
+class TestArtifactCache:
+    def test_lookup_miss_then_hit(self):
+        cache = ArtifactCache()
+        key = cache.make_key("program", "abc")
+        hit, value = cache.lookup(key)
+        assert not hit and value is None
+        cache.store(key, "artifact")
+        hit, value = cache.lookup(key)
+        assert hit and value == "artifact"
+
+    def test_keys_are_namespaced_and_deterministic(self):
+        assert content_key("plan", 1, "x") == content_key("plan", 1, "x")
+        assert content_key("plan", 1, "x") != content_key("codegen", 1, "x")
+        assert content_key("plan", 1, "x").startswith("plan:")
+
+    def test_stats_per_namespace(self):
+        cache = ArtifactCache()
+        key = cache.make_key("program", "k")
+        cache.lookup(key)
+        cache.store(key, 1)
+        cache.lookup(key)
+        cache.lookup(cache.make_key("plan", "other"))
+        stats = cache.stats()
+        assert stats["program"].hits == 1
+        assert stats["program"].misses == 1
+        assert stats["program"].hit_rate == 0.5
+        assert stats["plan"].misses == 1
+        summary = cache.summary()
+        assert summary["entries"] == 1
+
+    def test_lru_eviction(self):
+        cache = ArtifactCache(max_entries=2)
+        keys = [cache.make_key("program", i) for i in range(3)]
+        cache.store(keys[0], 0)
+        cache.store(keys[1], 1)
+        cache.lookup(keys[0])          # refresh 0 → 1 becomes LRU
+        cache.store(keys[2], 2)
+        assert keys[0] in cache and keys[2] in cache
+        assert keys[1] not in cache
+
+    def test_invalidate_by_namespace(self):
+        cache = ArtifactCache()
+        cache.store(cache.make_key("program", 1), "a")
+        cache.store(cache.make_key("plan", 1), "b")
+        assert cache.invalidate("plan") == 1
+        assert len(cache) == 1
+        assert cache.invalidate() == 1
+        assert len(cache) == 0
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            ArtifactCache(max_entries=0)
+
+
+class TestFingerprints:
+    def test_fingerprint_stable_across_recompiles(self):
+        a = compile_template(default_profile("KVS"), name="fp_a")
+        b = compile_template(default_profile("KVS"), name="fp_a")
+        assert fingerprint_ir(a) == fingerprint_ir(b)
+
+    def test_name_normalisation(self):
+        a = compile_template(default_profile("KVS"), name="tenant_a")
+        b = compile_template(default_profile("KVS"), name="tenant_b")
+        assert fingerprint_ir(a) != fingerprint_ir(b)
+        assert fingerprint_ir(a, normalize_name=True) == \
+            fingerprint_ir(b, normalize_name=True)
+
+    def test_content_change_changes_fingerprint(self):
+        profile = default_profile("KVS")
+        a = compile_template(profile, name="fp")
+        profile.performance["depth"] = 123
+        b = compile_template(profile, name="fp")
+        assert fingerprint_ir(a) != fingerprint_ir(b)
+
+    def test_rebrand_matches_native_compile(self):
+        a = compile_template(default_profile("KVS"), name="tenant_a")
+        b = a.rebrand("tenant_b")
+        native = compile_template(default_profile("KVS"), name="tenant_b")
+        assert fingerprint_ir(b) == fingerprint_ir(native)
+        assert all(instr.owner == "tenant_b" for instr in b)
+        assert all(
+            state.owner == "tenant_b" for state in b.states.values()
+        )
+        assert [instr.uid for instr in b] == [instr.uid for instr in a]
+
+    def test_topology_fingerprint_tracks_allocations(self, paper_topology,
+                                                     kvs_program):
+        placer = DPPlacer(paper_topology)
+        before = topology_resource_fingerprint(paper_topology)
+        plan = placer.place(PlacementRequest(
+            program=kvs_program, source_groups=["pod0(a)"],
+            destination_group="pod2(b)",
+        ))
+        assert topology_resource_fingerprint(paper_topology) == before
+        placer.commit(plan)
+        committed = topology_resource_fingerprint(paper_topology)
+        assert committed != before
+        placer.release(plan)
+        assert topology_resource_fingerprint(paper_topology) == before
+
+    def test_canonical_json_is_order_insensitive(self):
+        assert canonical_json({"b": 1, "a": 2}) == canonical_json({"a": 2, "b": 1})
+
+
+class TestCompileKeys:
+    def test_profile_key_excludes_user(self):
+        a = default_profile("KVS", user="alice")
+        b = default_profile("KVS", user="bob")
+        assert profile_compile_key(a) == profile_compile_key(b)
+
+    def test_profile_key_tracks_parameters(self):
+        a = default_profile("KVS")
+        b = default_profile("KVS")
+        b.performance["depth"] = 77
+        assert profile_compile_key(a) != profile_compile_key(b)
+        assert profile_compile_key(a) != profile_compile_key(default_profile("MLAgg"))
+
+    def test_source_key_tracks_all_inputs(self):
+        base = source_compile_key("x = 1 + 2")
+        assert base == source_compile_key("x = 1 + 2")
+        assert base != source_compile_key("x = 1 + 3")
+        assert base != source_compile_key("x = 1 + 2", constants={"n": 4})
+        assert base != source_compile_key("x = 1 + 2", header_fields={"op": 8})
