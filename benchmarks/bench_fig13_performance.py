@@ -20,7 +20,6 @@ in-network latency.
 
 from __future__ import annotations
 
-import pytest
 
 from benchmarks.conftest import print_table
 from repro.core import ClickINC

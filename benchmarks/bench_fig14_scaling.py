@@ -16,8 +16,6 @@ from __future__ import annotations
 
 import time
 
-import numpy as np
-import pytest
 
 from benchmarks.conftest import print_table
 from repro.frontend import compile_template

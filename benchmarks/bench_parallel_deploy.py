@@ -1,0 +1,189 @@
+"""Process-pool batched deployment benchmark (cold-batch throughput).
+
+Two service-shaped measurements on top of ``deploy_many(workers=N)``:
+
+1. **Cold batch, disjoint tenants** — eight KVS tenants in eight disjoint
+   fat-tree pods, deployed with ``workers=1`` (sequential reference) versus
+   ``workers=4`` (process-pool frontend + speculative placement).  Tenants
+   in different pods consult disjoint device sets, so every speculative
+   plan validates and commits untouched; on a multi-core machine the batch
+   must be at least 1.5x faster while producing *identical placements*.
+
+2. **Forced plan conflicts** — tenants that all place on the same pod-0
+   devices.  All speculative plans are computed against the same snapshot,
+   so every commit after the first detects changed device fingerprints,
+   re-places sequentially, and the batch must reproduce exactly the
+   placements of the equivalent serial loop.
+
+Shape to preserve: identical placements in both scenarios; >= 1.5x cold
+batch speedup at ``workers=4`` when four or more cores are available.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Dict, List
+
+from benchmarks.conftest import print_table
+from repro.core import ClickINC, DeployRequest
+from repro.lang.profile import default_profile
+from repro.topology import build_fattree
+
+#: Pods in the benchmark fat-tree; one tenant per pod in the disjoint batch.
+POD_COUNT = 8
+
+#: Worker processes for the parallel run (the ISSUE's acceptance point).
+PARALLEL_WORKERS = 4
+
+#: Minimum speedup required when the machine can actually run 4 workers.
+MIN_SPEEDUP = 1.5
+
+
+def usable_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux fallback
+        return os.cpu_count() or 1
+
+
+def tenant_request(pod: int, user: str, depth: int = 1000) -> DeployRequest:
+    """An intra-pod KVS tenant (pod<pod>(a) -> pod<pod>(b))."""
+    profile = default_profile("KVS", user=user)
+    profile.performance["depth"] = depth
+    return DeployRequest(
+        source_groups=[f"pod{pod}(a)"],
+        destination_group=f"pod{pod}(b)",
+        name=f"kvs_{user}",
+        profile=profile,
+    )
+
+
+def disjoint_requests() -> List[DeployRequest]:
+    """Eight tenants in eight disjoint pods: the multi-tenant sweet spot."""
+    return [tenant_request(pod, f"pod{pod}") for pod in range(POD_COUNT)]
+
+
+def conflicting_requests() -> List[DeployRequest]:
+    """Tenants that all place on pod-0 devices: guaranteed plan conflicts."""
+    return [tenant_request(0, "c0"), tenant_request(0, "c1")]
+
+
+def run_cold_batch(workers: int = PARALLEL_WORKERS) -> Dict[str, object]:
+    requests = disjoint_requests()
+
+    serial = ClickINC(build_fattree(k=POD_COUNT))
+    start = time.perf_counter()
+    serial_reports = serial.deploy_many(disjoint_requests(), workers=1)
+    serial_s = time.perf_counter() - start
+
+    parallel = ClickINC(build_fattree(k=POD_COUNT))
+    start = time.perf_counter()
+    parallel_reports = parallel.deploy_many(disjoint_requests(), workers=workers)
+    parallel_s = time.perf_counter() - start
+
+    assert all(r.succeeded for r in serial_reports)
+    assert all(r.succeeded for r in parallel_reports)
+    identical = all(
+        got.deployed.devices() == ref.deployed.devices()
+        for ref, got in zip(serial_reports, parallel_reports)
+    )
+    speculative = sum(
+        1
+        for report in parallel_reports
+        if report.stage("placement").detail.get("speculative")
+    )
+    return {
+        "n": len(requests),
+        "workers": workers,
+        "serial_s": serial_s,
+        "parallel_s": parallel_s,
+        "speedup": serial_s / parallel_s,
+        "serial_rps": len(requests) / serial_s,
+        "parallel_rps": len(requests) / parallel_s,
+        "identical_placements": identical,
+        "speculative_commits": speculative,
+    }
+
+
+def run_forced_conflicts() -> Dict[str, object]:
+    serial = ClickINC(build_fattree(k=4))
+    serial_reports = serial.deploy_many(conflicting_requests(), workers=1)
+
+    parallel = ClickINC(build_fattree(k=4))
+    parallel_reports = parallel.deploy_many(conflicting_requests(), workers=2)
+
+    assert all(r.succeeded for r in serial_reports)
+    assert all(r.succeeded for r in parallel_reports)
+    identical = all(
+        got.deployed.devices() == ref.deployed.devices()
+        for ref, got in zip(serial_reports, parallel_reports)
+    )
+    replaced = sum(
+        1
+        for report in parallel_reports
+        if report.stage("placement").detail.get("replaced_on_conflict")
+    )
+    return {
+        "n": len(parallel_reports),
+        "identical_placements": identical,
+        "replaced_on_conflict": replaced,
+    }
+
+
+def run_all() -> Dict[str, object]:
+    return {"cold_batch": run_cold_batch(), "conflicts": run_forced_conflicts()}
+
+
+def test_parallel_deploy(benchmark):
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    cold = results["cold_batch"]
+    print_table(
+        "deploy_many — cold batch of 8 disjoint tenants",
+        [
+            "tenants",
+            "workers",
+            "serial (s)",
+            "parallel (s)",
+            "speedup",
+            "speculative",
+            "identical",
+        ],
+        [
+            (
+                cold["n"],
+                cold["workers"],
+                f"{cold['serial_s']:.3f}",
+                f"{cold['parallel_s']:.3f}",
+                f"{cold['speedup']:.2f}x",
+                f"{cold['speculative_commits']}/{cold['n']}",
+                cold["identical_placements"],
+            )
+        ],
+    )
+    conflicts = results["conflicts"]
+    print_table(
+        "deploy_many — forced plan conflicts",
+        ["tenants", "replaced on conflict", "identical to serial loop"],
+        [
+            (
+                conflicts["n"],
+                conflicts["replaced_on_conflict"],
+                conflicts["identical_placements"],
+            )
+        ],
+    )
+
+    # correctness must hold everywhere, regardless of core count
+    assert cold["identical_placements"]
+    assert cold["speculative_commits"] == cold["n"]
+    assert conflicts["identical_placements"]
+    assert conflicts["replaced_on_conflict"] >= 1
+
+    # the speedup claim needs the cores to back it
+    if usable_cores() >= PARALLEL_WORKERS:
+        assert cold["speedup"] >= MIN_SPEEDUP, (
+            f"cold batch only {cold['speedup']:.2f}x faster at "
+            f"workers={cold['workers']}"
+        )

@@ -10,7 +10,6 @@ as an assertion on measured values.
 
 from __future__ import annotations
 
-import pytest
 
 from benchmarks.conftest import print_table
 from repro.backend import P4Generator

@@ -12,7 +12,6 @@ more code (see Table 1).
 
 from __future__ import annotations
 
-import pytest
 
 from benchmarks.conftest import print_table
 from repro.core import ClickINC

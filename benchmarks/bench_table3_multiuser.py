@@ -10,7 +10,6 @@ Table 3 (the paper's "# of trials" column is 1 by construction for ClickINC).
 
 from __future__ import annotations
 
-import pytest
 
 from benchmarks.conftest import print_table
 from repro.frontend import compile_template

@@ -11,7 +11,6 @@ from __future__ import annotations
 
 import time
 
-import pytest
 
 from benchmarks.conftest import print_table
 from repro.frontend import compile_template

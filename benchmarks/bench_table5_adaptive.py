@@ -11,7 +11,6 @@ resources.
 
 from __future__ import annotations
 
-import pytest
 
 from benchmarks.conftest import print_table
 from repro.exceptions import PlacementError

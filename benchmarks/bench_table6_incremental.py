@@ -14,7 +14,6 @@ for incremental deployment.
 
 from __future__ import annotations
 
-import pytest
 
 from benchmarks.conftest import print_table
 from repro.frontend import compile_template

@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""CI benchmark-regression gate for the compilation pipeline.
+
+Runs the cold-batch deployment benchmark
+(:mod:`benchmarks.bench_parallel_deploy`), writes the measurements to a
+``BENCH_pipeline.json`` artifact, and exits non-zero when
+
+* cold-batch throughput regresses more than ``tolerance`` (default 30%)
+  below the committed numbers in ``benchmarks/BENCH_baseline.json``,
+* a batch stops producing the placements of the equivalent serial loop, or
+* the machine has enough cores for the parallel run but the speedup falls
+  below the baseline's ``min_parallel_speedup``.
+
+Usage (from the repository root, with ``PYTHONPATH=src``)::
+
+    python benchmarks/regression_gate.py --output BENCH_pipeline.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+# allow `python benchmarks/regression_gate.py` from the repository root
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from benchmarks.bench_parallel_deploy import (  # noqa: E402
+    PARALLEL_WORKERS,
+    run_all,
+    usable_cores,
+)
+
+DEFAULT_BASELINE = Path(__file__).resolve().parent / "BENCH_baseline.json"
+
+
+def measure() -> dict:
+    results = run_all()
+    cold = results["cold_batch"]
+    conflicts = results["conflicts"]
+    return {
+        "generated_unix_time": int(time.time()),
+        "cores": usable_cores(),
+        "workers": PARALLEL_WORKERS,
+        "cold_batch_size": cold["n"],
+        "cold_batch_rps_serial": round(cold["serial_rps"], 3),
+        "cold_batch_rps_parallel": round(cold["parallel_rps"], 3),
+        "parallel_speedup": round(cold["speedup"], 3),
+        "speculative_commits": cold["speculative_commits"],
+        "identical_placements": bool(
+            cold["identical_placements"] and conflicts["identical_placements"]
+        ),
+        "conflicts_replaced": conflicts["replaced_on_conflict"],
+    }
+
+
+def check(measured: dict, baseline: dict) -> list:
+    tolerance = float(baseline.get("tolerance", 0.3))
+    failures = []
+
+    floor = float(baseline["cold_batch_rps_serial"]) * (1.0 - tolerance)
+    if measured["cold_batch_rps_serial"] < floor:
+        failures.append(
+            f"cold-batch throughput regressed: {measured['cold_batch_rps_serial']}"
+            f" req/s < floor {floor:.2f} req/s (baseline"
+            f" {baseline['cold_batch_rps_serial']} req/s - {tolerance:.0%})"
+        )
+    if not measured["identical_placements"]:
+        failures.append("batched placements no longer match the serial loop")
+    if measured["speculative_commits"] < measured["cold_batch_size"]:
+        failures.append(
+            f"only {measured['speculative_commits']}/{measured['cold_batch_size']}"
+            " disjoint tenants committed speculatively (conflicts where none"
+            " should exist)"
+        )
+    if measured["conflicts_replaced"] < 1:
+        failures.append(
+            "the forced-conflict batch no longer detects any plan conflict"
+        )
+    min_speedup = float(baseline.get("min_parallel_speedup", 1.5))
+    if measured["cores"] >= measured["workers"]:
+        if measured["parallel_speedup"] < min_speedup:
+            failures.append(
+                f"parallel speedup {measured['parallel_speedup']:.2f}x is below"
+                f" the required {min_speedup:.2f}x on a"
+                f" {measured['cores']}-core machine"
+            )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--output",
+        default="BENCH_pipeline.json",
+        help="where to write the measured numbers (CI artifact)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=str(DEFAULT_BASELINE),
+        help="committed baseline numbers to gate against",
+    )
+    args = parser.parse_args(argv)
+
+    measured = measure()
+    Path(args.output).write_text(json.dumps(measured, indent=2) + "\n")
+    print(f"wrote {args.output}:")
+    print(json.dumps(measured, indent=2))
+
+    baseline = json.loads(Path(args.baseline).read_text())
+    failures = check(measured, baseline)
+    if failures:
+        for failure in failures:
+            print(f"REGRESSION: {failure}", file=sys.stderr)
+        return 1
+    print("benchmark regression gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,10 +9,10 @@ reported by the heavy-hitter detector.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 from repro.emulator.network import NetworkEmulator
-from repro.emulator.traffic import KVSWorkload, zipf_keys
+from repro.emulator.traffic import KVSWorkload
 from repro.lang.profile import PacketFormat, Profile, TrafficSpec
 
 

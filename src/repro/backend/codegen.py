@@ -3,11 +3,10 @@
 from __future__ import annotations
 
 import abc
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
 from repro.devices.base import Device
 from repro.exceptions import BackendError
-from repro.ir.instructions import Instruction, Opcode, StateDecl, StateKind
 from repro.ir.program import IRProgram
 
 

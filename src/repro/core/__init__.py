@@ -15,6 +15,7 @@ template deployments are cache hits and batches
 
 from repro.core.cache import ArtifactCache
 from repro.core.controller import ClickINC
+from repro.core.parallel import ParallelCompileService, SpeculativeResult
 from repro.core.pipeline import (
     CompilationPipeline,
     DeployedProgram,
@@ -29,6 +30,8 @@ __all__ = [
     "CompilationPipeline",
     "DeployRequest",
     "DeployedProgram",
+    "ParallelCompileService",
     "PipelineReport",
+    "SpeculativeResult",
     "StageRecord",
 ]

@@ -29,8 +29,8 @@ import hashlib
 import json
 import threading
 from collections import OrderedDict
-from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
 
 from repro.ir.program import IRProgram
 from repro.topology.network import NetworkTopology
@@ -104,15 +104,7 @@ def topology_resource_fingerprint(topology: NetworkTopology) -> str:
     part of a placement cache key that tracks the mutable world: committing a
     plan changes it, releasing the same plan restores it.
     """
-    payload = [
-        (
-            name,
-            sorted(device.deployed_programs),
-            [sorted(stage.used.items()) for stage in device.stages],
-        )
-        for name, device in sorted(topology.devices.items())
-    ]
-    return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
+    return topology.allocation_fingerprint()
 
 
 @dataclass

@@ -138,20 +138,31 @@ class ClickINC:
         return report.deployed
 
     def deploy_many(self, requests: Sequence[DeployRequest],
-                    max_workers: Optional[int] = None) -> List[PipelineReport]:
+                    max_workers: Optional[int] = None,
+                    workers: Optional[int] = None) -> List[PipelineReport]:
         """Deploy a batch of independent requests.
 
-        Pure compile stages run concurrently on a thread pool; placement,
-        synthesis and emulator installs commit sequentially in request order,
-        so the batch produces exactly the placements (and name-collision
-        behaviour) of a serial loop over the same requests.  Returns one
-        :class:`PipelineReport` per request, in request order; failed
-        requests carry ``succeeded=False`` and an ``error`` instead of
-        aborting the batch.  A duplicate name fails at the ``validation``
+        By default the pure compile stages overlap on a thread pool.  With
+        ``workers=N`` (N > 1) the frontend *and the placement search* of
+        every request run in a process pool for a real multi-core speedup:
+        placement is commit-free, so workers speculatively place against a
+        snapshot of device allocations and the sequential commit phase
+        validates each plan's device fingerprints, re-placing on conflict.
+        Either way placement, synthesis and emulator installs commit
+        sequentially in request order, so the batch produces exactly the
+        placements (and name-collision behaviour) of a serial loop over the
+        same requests.  Requests caught in a worker-process crash are
+        retried in-process; only a genuine failure is captured, per
+        request, never a batch abort.
+
+        Returns one :class:`PipelineReport` per request, in request order;
+        failed requests carry ``succeeded=False`` and an ``error`` instead
+        of aborting the batch.  A duplicate name fails at the ``validation``
         stage only if the earlier holder of the name actually deployed.
         """
         reports = self.pipeline.run_many(list(requests),
-                                         max_workers=max_workers)
+                                         max_workers=max_workers,
+                                         workers=workers)
         for report in reports:
             if report.succeeded:
                 self.deployed[report.program_name] = report.deployed

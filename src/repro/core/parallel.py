@@ -1,0 +1,290 @@
+"""Process-pool parallel compilation for batched deployments.
+
+``CompilationPipeline.run_many(..., workers=N)`` routes a batch through the
+:class:`ParallelCompileService`: every request's frontend, IR verification
+and *speculative placement* run in a ``ProcessPoolExecutor`` whose workers
+hold a snapshot of the live topology, sidestepping the GIL that limits the
+thread-pool path to mere overlap.  Placement is commit-free (the DP search
+never mutates device state), so a worker can safely place against its
+snapshot; the plan carries the allocation fingerprints of every device it
+consulted and the sequential commit phase in the parent either applies it
+unchanged (fingerprints still match — provably the sequential result) or
+re-places on conflict.
+
+The service degrades gracefully: with ``workers <= 1``, when the pool cannot
+be created, or for request payloads that cannot be pickled, it falls back to
+the in-process compile path.  A worker-process crash (``BrokenProcessPool``,
+which fails every in-flight future of the wave) triggers an in-process retry
+of the affected requests — the compile stages are pure, so this is safe —
+and only a genuine retry failure is recorded, per-request, instead of
+aborting the batch.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
+
+from repro.core.cache import ArtifactCache
+from repro.core.pipeline import (
+    DeployRequest,
+    StageRecord,
+    compile_request,
+    single_flight_waves,
+)
+from repro.frontend.compiler import FrontendCompiler
+from repro.ir.program import IRProgram
+from repro.ir.verify import verify_program
+from repro.placement.dp import DPPlacer, PlacementRequest
+from repro.placement.plan import PlacementPlan
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.core.pipeline import CompilationPipeline
+
+__all__ = ["ParallelCompileService", "SpeculativeResult"]
+
+
+@dataclass
+class SpeculativeResult:
+    """Outcome of the parallel compile + speculative-place phase.
+
+    ``plan`` is the commit-free placement computed against the worker's
+    topology snapshot (``None`` for in-process fallbacks, which place during
+    the commit phase instead).  ``error``/``failed_stage`` capture failures;
+    ``via`` records which execution path produced the result.
+    """
+
+    index: int
+    program: Optional[IRProgram] = None
+    records: List[StageRecord] = field(default_factory=list)
+    plan: Optional[PlacementPlan] = None
+    error: Optional[str] = None
+    failed_stage: Optional[str] = None
+    via: str = "process"
+
+
+#: Per-worker state built once by the pool initializer (each worker process
+#: owns a private topology snapshot, compiler and artifact cache).
+_WORKER_CONTEXT: Dict[str, object] = {}
+
+
+def _worker_init(topology, adaptive_weights: bool) -> None:
+    """Initialise one worker process with a snapshot of the topology."""
+    _WORKER_CONTEXT["compiler"] = FrontendCompiler()
+    _WORKER_CONTEXT["placer"] = DPPlacer(topology)
+    _WORKER_CONTEXT["cache"] = ArtifactCache()
+    _WORKER_CONTEXT["adaptive_weights"] = bool(adaptive_weights)
+
+
+def _worker_compile_and_place(
+    index: int,
+    request: DeployRequest,
+    precompiled: Optional[IRProgram],
+) -> SpeculativeResult:
+    """Run frontend → ir-verify → speculative placement for one request.
+
+    Never raises: failures come back as picklable ``error``/``failed_stage``
+    fields so the parent can fill the request's ``PipelineReport``.
+    """
+    compiler: FrontendCompiler = _WORKER_CONTEXT["compiler"]
+    placer: DPPlacer = _WORKER_CONTEXT["placer"]
+    records: List[StageRecord] = []
+    stage = "frontend"
+    try:
+        if precompiled is not None:
+            # single-flight follower: the leader compiled the shared program
+            start = time.perf_counter()
+            program = precompiled.rebrand(request.resolved_name())
+            records.append(
+                StageRecord(
+                    "frontend",
+                    time.perf_counter() - start,
+                    cache_hit=True,
+                    detail={"kind": "single-flight"},
+                )
+            )
+            stage = "ir-verify"
+            start = time.perf_counter()
+            verify_program(program)
+            records.append(StageRecord("ir-verify", time.perf_counter() - start))
+        else:
+            program, records = compile_request(
+                request, compiler, _WORKER_CONTEXT["cache"]
+            )
+    except Exception as exc:
+        return SpeculativeResult(
+            index=index,
+            records=records,
+            error=str(exc),
+            failed_stage=getattr(exc, "pipeline_stage", stage),
+        )
+    try:
+        placement_request = PlacementRequest(
+            program=program,
+            source_groups=list(request.source_groups),
+            destination_group=request.destination_group,
+            traffic_rates=(
+                dict(request.traffic_rates) if request.traffic_rates else None
+            ),
+            adaptive_weights=_WORKER_CONTEXT["adaptive_weights"],
+        )
+        plan = placer.place(placement_request)
+    except Exception as exc:
+        # the commit phase retries placement against the live topology, so a
+        # snapshot-time failure is advisory rather than final
+        return SpeculativeResult(
+            index=index,
+            program=program,
+            records=records,
+            error=str(exc),
+            failed_stage="placement",
+        )
+    return SpeculativeResult(index=index, program=program, records=records, plan=plan)
+
+
+def _default_context():
+    """Prefer fork where available: cheap worker start-up, inherited imports."""
+    if "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork")
+    return None
+
+
+def _picklable(payload) -> bool:
+    try:
+        pickle.dumps(payload)
+    except Exception:
+        return False
+    return True
+
+
+class ParallelCompileService:
+    """Owns the process pool behind ``run_many(..., workers=N)``.
+
+    Responsibilities:
+
+    * the ``ProcessPoolExecutor`` whose workers hold a topology snapshot
+      taken when the service is created (fork) or shipped to them (spawn);
+    * single-flight deduplication shared with the pipeline's
+      :class:`~repro.core.cache.ArtifactCache`: requests with equal compile
+      keys ride on one leader compilation, leader programs are stored back
+      into the shared cache, and followers receive them pre-compiled;
+    * fallbacks — ``workers <= 1``, an unavailable pool, or an unpicklable
+      request payload all use the in-process compile path, and requests
+      caught in a worker-process crash are retried in-process.
+    """
+
+    def __init__(
+        self,
+        pipeline: "CompilationPipeline",
+        workers: int,
+        mp_context=None,
+    ) -> None:
+        self.pipeline = pipeline
+        self.workers = max(1, int(workers))
+        self._pool: Optional[ProcessPoolExecutor] = None
+        if self.workers > 1:
+            try:
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.workers,
+                    mp_context=mp_context or _default_context(),
+                    initializer=_worker_init,
+                    initargs=(pipeline.topology, pipeline.adaptive_weights),
+                )
+            except (OSError, ValueError):  # no usable multiprocessing
+                self._pool = None
+
+    # ------------------------------------------------------------------ #
+    def __enter__(self) -> "ParallelCompileService":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    # ------------------------------------------------------------------ #
+    def compile_batch(
+        self, requests: Sequence[DeployRequest]
+    ) -> List[SpeculativeResult]:
+        """Compile + speculatively place a batch; results in request order."""
+        requests = list(requests)
+        results: List[Optional[SpeculativeResult]] = [None] * len(requests)
+        cache = self.pipeline.cache
+        keys = [self.pipeline.program_cache_key(request) for request in requests]
+
+        leaders, followers = single_flight_waves(keys)
+
+        self._run_wave(requests, leaders, {}, results)
+        for index in leaders:
+            result = results[index]
+            # a program is only set once it passed ir-verify, so it is
+            # cacheable even when the leader's speculative placement failed
+            if keys[index] and result.program is not None:
+                cache.store(keys[index], result.program)
+
+        precompiled: Dict[int, Optional[IRProgram]] = {}
+        for index in followers:
+            hit, cached = cache.lookup(keys[index])
+            precompiled[index] = cached if hit else None
+        self._run_wave(requests, followers, precompiled, results)
+        return results
+
+    # ------------------------------------------------------------------ #
+    def _run_wave(
+        self,
+        requests: List[DeployRequest],
+        indices: List[int],
+        precompiled: Dict[int, Optional[IRProgram]],
+        results: List[Optional[SpeculativeResult]],
+    ) -> None:
+        futures = {}
+        for index in indices:
+            payload = precompiled.get(index)
+            if self._pool is None or not _picklable((requests[index], payload)):
+                results[index] = self._compile_inline(index, requests[index])
+                continue
+            try:
+                futures[index] = self._pool.submit(
+                    _worker_compile_and_place, index, requests[index], payload
+                )
+            except Exception:
+                # the pool broke (e.g. a worker crashed in an earlier wave)
+                results[index] = self._compile_inline(index, requests[index])
+        for index, future in futures.items():
+            try:
+                results[index] = future.result()
+            except Exception as exc:
+                # a worker crash (BrokenProcessPool) fails every in-flight
+                # future of the wave, not just the culprit; the compile
+                # stages are pure, so retry in-process and surface only a
+                # genuine failure, annotated with the crash
+                retried = self._compile_inline(index, requests[index])
+                retried.via = "inline-after-crash"
+                if retried.error is not None:
+                    retried.error = (
+                        f"{retried.error} (retried in-process after a worker"
+                        f" process crash: {exc!r})"
+                    )
+                results[index] = retried
+
+    def _compile_inline(self, index: int, request: DeployRequest) -> SpeculativeResult:
+        """In-process fallback: pure compile only, placement at commit time."""
+        try:
+            program, records = self.pipeline.compile_stages(request)
+        except Exception as exc:
+            return SpeculativeResult(
+                index=index,
+                error=str(exc),
+                failed_stage=getattr(exc, "pipeline_stage", "frontend"),
+                via="inline",
+            )
+        return SpeculativeResult(
+            index=index, program=program, records=records, via="inline"
+        )

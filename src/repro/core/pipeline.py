@@ -12,6 +12,16 @@ run sequentially in request order, which keeps batched deployment
 deterministic: a batch produces exactly the placements the equivalent serial
 loop would.
 
+Batches can additionally run the frontend *and the placement search* in a
+:class:`~repro.core.parallel.ParallelCompileService` process pool
+(``run_many(..., workers=N)``): placement is commit-free, so each worker
+produces a speculative :class:`~repro.placement.plan.PlacementPlan` against
+a snapshot of device allocations, and the sequential commit phase validates
+each plan's recorded device fingerprints — committing it untouched when they
+still match (provably the sequential result) or re-placing against the live
+topology on conflict.  Either way the batch yields exactly the placements of
+the equivalent serial loop.
+
 Every stage appends a :class:`StageRecord` (duration, cache-hit flag,
 diagnostics) to the deployment's :class:`PipelineReport`.  If a commit stage
 fails, the stages already committed are rolled back in reverse order, so a
@@ -159,6 +169,93 @@ class PipelineReport:
         }
 
 
+def program_cache_key(request: DeployRequest, cache: ArtifactCache) -> Optional[str]:
+    """The ``program`` cache address of *request*, or None if precompiled."""
+    if request.program is not None:
+        return None
+    if request.profile is not None:
+        return cache.make_key("program", profile_compile_key(request.profile))
+    return cache.make_key(
+        "program",
+        source_compile_key(request.source, request.constants,
+                           request.header_fields),
+    )
+
+
+def single_flight_waves(keys: Sequence[Optional[str]]
+                        ) -> Tuple[List[int], List[int]]:
+    """Partition request indices into single-flight leaders and followers.
+
+    Requests sharing a compile key ride on one leader compilation; followers
+    run in a second wave, once the leaders' programs are in the shared
+    cache.  Requests without a key (precompiled IR) are always leaders.
+    Both batch drivers (thread and process pool) use this partition, so
+    deduplication semantics cannot diverge between them.
+    """
+    leaders: List[int] = []
+    followers: List[int] = []
+    seen: set = set()
+    for index, key in enumerate(keys):
+        if key is None or key not in seen:
+            leaders.append(index)
+            if key is not None:
+                seen.add(key)
+        else:
+            followers.append(index)
+    return leaders, followers
+
+
+def compile_request(request: DeployRequest, compiler: FrontendCompiler,
+                    cache: ArtifactCache
+                    ) -> Tuple[IRProgram, List[StageRecord]]:
+    """Run the pure ``frontend`` and ``ir-verify`` stages of one request.
+
+    This is a free function (rather than pipeline state) so process-pool
+    workers can run it against their own compiler and cache; exceptions are
+    annotated with a ``pipeline_stage`` attribute naming the failing stage.
+    """
+    records: List[StageRecord] = []
+    name = request.resolved_name()
+
+    start = time.perf_counter()
+    stage = "frontend"
+    try:
+        hit = False
+        if request.program is not None:
+            program = request.program
+            if program.name != name:
+                program = program.rebrand(name)
+            detail: Dict[str, object] = {"kind": "precompiled"}
+        else:
+            kind = "profile" if request.profile is not None else "source"
+            key = program_cache_key(request, cache)
+            hit, cached = cache.lookup(key)
+            if hit:
+                program = cached.rebrand(name)
+            elif request.profile is not None:
+                program = compiler.compile_profile(request.profile, name=name)
+            else:
+                program = compiler.compile_source(
+                    request.source, name=name, constants=request.constants,
+                    header_fields=request.header_fields,
+                )
+            detail = {"kind": kind, "instructions": len(program)}
+        records.append(StageRecord(stage, time.perf_counter() - start,
+                                   cache_hit=hit, detail=detail))
+
+        stage = "ir-verify"
+        start = time.perf_counter()
+        verify_program(program)
+        records.append(StageRecord(stage, time.perf_counter() - start))
+        if request.program is None and not hit:
+            # only verified programs enter the content-addressed store
+            cache.store(key, program)
+    except Exception as exc:
+        setattr(exc, "pipeline_stage", stage)
+        raise
+    return program, records
+
+
 def rebrand_plan(plan: PlacementPlan, program: IRProgram) -> PlacementPlan:
     """Re-own a cached placement plan for *program*.
 
@@ -195,6 +292,8 @@ def rebrand_plan(plan: PlacementPlan, program: IRProgram) -> PlacementPlan:
         served_traffic_fraction=plan.served_traffic_fraction,
         transfer_bits=plan.transfer_bits,
         metadata=dict(plan.metadata),
+        topology_fingerprint=plan.topology_fingerprint,
+        device_fingerprints=dict(plan.device_fingerprints),
     )
 
 
@@ -226,69 +325,27 @@ class CompilationPipeline:
     # ------------------------------------------------------------------ #
     def program_cache_key(self, request: DeployRequest) -> Optional[str]:
         """The ``program`` cache address of *request*, or None if precompiled."""
-        if request.program is not None:
-            return None
-        if request.profile is not None:
-            return self.cache.make_key(
-                "program", profile_compile_key(request.profile)
-            )
-        return self.cache.make_key(
-            "program",
-            source_compile_key(request.source, request.constants,
-                               request.header_fields),
-        )
+        return program_cache_key(request, self.cache)
 
     def compile_stages(self, request: DeployRequest
                        ) -> Tuple[IRProgram, List[StageRecord]]:
         """Run ``frontend`` and ``ir-verify`` for one request."""
-        records: List[StageRecord] = []
-        name = request.resolved_name()
-
-        start = time.perf_counter()
-        stage = "frontend"
-        try:
-            hit = False
-            if request.program is not None:
-                program = request.program
-                if program.name != name:
-                    program = program.rebrand(name)
-                detail: Dict[str, object] = {"kind": "precompiled"}
-            else:
-                kind = "profile" if request.profile is not None else "source"
-                key = self.program_cache_key(request)
-                hit, cached = self.cache.lookup(key)
-                if hit:
-                    program = cached.rebrand(name)
-                elif request.profile is not None:
-                    program = self.compiler.compile_profile(request.profile,
-                                                            name=name)
-                else:
-                    program = self.compiler.compile_source(
-                        request.source, name=name, constants=request.constants,
-                        header_fields=request.header_fields,
-                    )
-                detail = {"kind": kind, "instructions": len(program)}
-            records.append(StageRecord(stage, time.perf_counter() - start,
-                                       cache_hit=hit, detail=detail))
-
-            stage = "ir-verify"
-            start = time.perf_counter()
-            verify_program(program)
-            records.append(StageRecord(stage, time.perf_counter() - start))
-            if request.program is None and not hit:
-                # only verified programs enter the content-addressed store
-                self.cache.store(key, program)
-        except Exception as exc:
-            setattr(exc, "pipeline_stage", stage)
-            raise
-        return program, records
+        return compile_request(request, self.compiler, self.cache)
 
     # ------------------------------------------------------------------ #
     # commit stages (sequential; mutate shared placer/synth/emulator state)
     # ------------------------------------------------------------------ #
     def commit_stages(self, program: IRProgram, request: DeployRequest,
-                      records: List[StageRecord]) -> DeployedProgram:
+                      records: List[StageRecord],
+                      speculative_plan: Optional[PlacementPlan] = None
+                      ) -> DeployedProgram:
         """Run placement → synthesis → emulator-install → codegen.
+
+        When a *speculative_plan* (a commit-free placement computed against
+        an earlier snapshot of device allocations) is given, it is validated
+        against the live topology first: if no consulted device changed, the
+        plan commits as-is; otherwise the request is re-placed sequentially,
+        which reproduces exactly what a serial loop would have computed.
 
         On failure every already-committed stage is rolled back in reverse
         order before the original exception is re-raised (annotated with a
@@ -302,21 +359,39 @@ class CompilationPipeline:
                 raise DeploymentError(f"program {name!r} is already deployed")
             stage = "placement"
             start = time.perf_counter()
-            placement_request = PlacementRequest(
-                program=program,
-                source_groups=list(request.source_groups),
-                destination_group=request.destination_group,
-                traffic_rates=dict(request.traffic_rates)
-                if request.traffic_rates else None,
-                adaptive_weights=self.adaptive_weights,
-            )
-            plan, hit = self._place_cached(placement_request)
+            plan: Optional[PlacementPlan] = None
+            hit = False
+            speculative_detail: Dict[str, object] = {}
+            if speculative_plan is not None:
+                conflicts = self.placer.validate(speculative_plan)
+                if conflicts:
+                    speculative_detail = {"speculative": False,
+                                          "replaced_on_conflict": True,
+                                          "conflicts": conflicts}
+                else:
+                    plan = speculative_plan
+                    speculative_detail = {
+                        "speculative": True,
+                        "speculative_place_s": speculative_plan.compile_time_s,
+                    }
+            if plan is None:
+                placement_request = PlacementRequest(
+                    program=program,
+                    source_groups=list(request.source_groups),
+                    destination_group=request.destination_group,
+                    traffic_rates=dict(request.traffic_rates)
+                    if request.traffic_rates else None,
+                    adaptive_weights=self.adaptive_weights,
+                )
+                plan, hit = self._place_cached(placement_request)
             self.placer.commit(plan)
             undo.append(lambda: self.placer.release(plan))
+            detail: Dict[str, object] = {"devices": plan.devices_used(),
+                                         "gain": round(plan.gain, 4)}
+            detail.update(speculative_detail)
             records.append(StageRecord(
                 stage, time.perf_counter() - start, cache_hit=hit,
-                detail={"devices": plan.devices_used(),
-                        "gain": round(plan.gain, 4)},
+                detail=detail,
             ))
 
             stage = "synthesis"
@@ -427,8 +502,17 @@ class CompilationPipeline:
         return report
 
     def run_many(self, requests: Sequence[DeployRequest],
-                 max_workers: Optional[int] = None) -> List[PipelineReport]:
+                 max_workers: Optional[int] = None,
+                 workers: Optional[int] = None) -> List[PipelineReport]:
         """Deploy a batch: concurrent pure-compile, sequential commit.
+
+        With ``workers`` > 1 the frontend *and the DP placement search* of
+        every request run in a process pool
+        (:class:`~repro.core.parallel.ParallelCompileService`) for real
+        multi-core speedup; the sequential commit phase validates each
+        speculative plan's device fingerprints and re-places on conflict, so
+        placements always equal the equivalent serial loop's.  Otherwise the
+        pure compile stages overlap on a thread pool of ``max_workers``.
 
         Reports are returned in request order.  A failing request is captured
         in its report (``succeeded=False``, ``error``, ``failed_stage``) and
@@ -438,6 +522,8 @@ class CompilationPipeline:
         requests = list(requests)
         if not requests:
             return []
+        if workers is not None and workers > 1:
+            return self._run_many_speculative(requests, workers)
         reports = [
             PipelineReport(program_name=request.resolved_name())
             for request in requests
@@ -448,17 +534,9 @@ class CompilationPipeline:
         )
         # single-flight: requests sharing a compile key ride on one leader
         # compilation — followers run after the leaders and hit the cache
-        leaders: List[int] = []
-        followers: List[int] = []
-        seen_keys: set = set()
-        for index, request in enumerate(requests):
-            key = self.program_cache_key(request)
-            if key is None or key not in seen_keys:
-                leaders.append(index)
-                if key is not None:
-                    seen_keys.add(key)
-            else:
-                followers.append(index)
+        leaders, followers = single_flight_waves(
+            [self.program_cache_key(request) for request in requests]
+        )
 
         workers = max_workers or min(8, len(requests))
         with ThreadPoolExecutor(max_workers=workers) as pool:
@@ -494,6 +572,54 @@ class CompilationPipeline:
                 report.total_s = time.perf_counter() - start_times[index]
                 continue
             report.total_s = time.perf_counter() - start_times[index]
+            report.succeeded = True
+            report.deployed = deployed
+            deployed.deploy_time_s = report.total_s
+            deployed.report = report
+        return reports
+
+    def _run_many_speculative(self, requests: List[DeployRequest],
+                              workers: int) -> List[PipelineReport]:
+        """Process-pool batch driver: parallel compile+place, serial commit."""
+        # imported lazily: parallel.py imports this module at top level
+        from repro.core.parallel import ParallelCompileService
+
+        batch_start = time.perf_counter()
+        reports = [
+            PipelineReport(program_name=request.resolved_name())
+            for request in requests
+        ]
+        with ParallelCompileService(self, workers=workers) as service:
+            results = service.compile_batch(requests)
+
+        for index, request in enumerate(requests):
+            report = reports[index]
+            result = results[index]
+            report.stages = list(result.records)
+            # a placement failure against the worker's snapshot is advisory:
+            # the commit phase below re-places against the live topology
+            retryable = (result.failed_stage == "placement"
+                         and result.program is not None)
+            if result.error is not None and not retryable:
+                report.succeeded = False
+                report.error = result.error
+                report.failed_stage = result.failed_stage
+                report.total_s = time.perf_counter() - batch_start
+                continue
+            program = result.program
+            report.program_name = program.name
+            try:
+                deployed = self.commit_stages(
+                    program, request, report.stages,
+                    speculative_plan=result.plan,
+                )
+            except Exception as exc:
+                report.succeeded = False
+                report.error = str(exc)
+                report.failed_stage = getattr(exc, "pipeline_stage", None)
+                report.total_s = time.perf_counter() - batch_start
+                continue
+            report.total_s = time.perf_counter() - batch_start
             report.succeeded = True
             report.deployed = deployed
             deployed.deploy_time_s = report.total_s

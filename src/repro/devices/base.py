@@ -10,8 +10,10 @@ releasing resources as programs are deployed and removed.
 from __future__ import annotations
 
 import enum
+import hashlib
+import json
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Sequence
 
 from repro.exceptions import ResourceExhaustedError
 from repro.ir.instructions import InstrClass, Instruction, resource_footprint
@@ -226,6 +228,23 @@ class Device:
 
     def release_stage(self, stage_index: int, demand: Dict[str, float]) -> None:
         self.stages[stage_index].release(demand)
+
+    def allocation_fingerprint(self) -> str:
+        """Stable hash of this device's current resource allocations.
+
+        The fingerprint covers everything a placement search reads from the
+        device — per-stage usage and the set of deployed programs — so it
+        changes exactly when a commit or release could alter a placement
+        decision.  Speculative plans record it per consulted device and the
+        commit step revalidates it (optimistic concurrency control).
+        """
+        payload = [
+            sorted(self.deployed_programs),
+            [sorted(stage.used.items()) for stage in self.stages],
+        ]
+        rendered = json.dumps(payload, sort_keys=True, separators=(",", ":"),
+                              default=str)
+        return hashlib.sha256(rendered.encode("utf-8")).hexdigest()
 
     def snapshot(self) -> List[StageResources]:
         """Copy of per-stage resource usage, for rollback during search."""

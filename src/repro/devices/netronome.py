@@ -11,7 +11,7 @@ than replacing them.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import List
 
 from repro.devices.base import Architecture, RTCDevice, StageResources
 from repro.ir.instructions import InstrClass

@@ -10,7 +10,7 @@ no stateful match tables and no crypto.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import List
 
 from repro.devices.base import Architecture, PipelineDevice, StageResources
 from repro.ir.instructions import InstrClass

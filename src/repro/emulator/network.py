@@ -10,8 +10,8 @@ achieve.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
 
 from repro.emulator.interpreter import DeviceRuntime, ExecutionResult
 from repro.emulator.metrics import RunMetrics

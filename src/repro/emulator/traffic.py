@@ -8,8 +8,8 @@ with duplicates for the SQL DISTINCT accelerator.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import List
 
 import numpy as np
 

@@ -41,6 +41,22 @@ class ResourceExhaustedError(PlacementError):
     """A device (or the whole network) has insufficient resources."""
 
 
+class PlacementConflictError(PlacementError):
+    """A speculative placement plan failed commit-time validation.
+
+    Raised when the allocation state of a device the plan consulted during
+    its (commit-free) search changed between placement and commit, so the
+    plan can no longer be proven identical to what a sequential placement
+    would produce.  The conflicting device names are carried in
+    :attr:`conflicts`; the usual reaction is a sequential re-place against
+    the live topology.
+    """
+
+    def __init__(self, message: str, conflicts=None) -> None:
+        super().__init__(message)
+        self.conflicts = list(conflicts or [])
+
+
 class TopologyError(ClickINCError):
     """The network topology is unsupported or inconsistent."""
 

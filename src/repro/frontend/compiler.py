@@ -9,7 +9,6 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
-from repro.exceptions import CompileError
 from repro.frontend.expansion import expand_templates, unroll_loops
 from repro.frontend.folding import ConstantEnv
 from repro.frontend.lowering import Lowerer

@@ -13,18 +13,17 @@ value is preserved when the guard is false at runtime.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Dict, List, Optional, Union
 
 from repro.exceptions import CompileError
-from repro.frontend.folding import ConstantEnv, try_eval, is_constant
-from repro.ir.instructions import Instruction, Opcode, StateDecl, StateKind
-from repro.ir.program import HeaderField, IRProgram
+from repro.frontend.folding import ConstantEnv, try_eval
+from repro.ir.instructions import Opcode
+from repro.ir.program import IRProgram
 from repro.lang import ast_nodes as cn
 from repro.lang.objects import (
     ArraySpec,
     CryptoSpec,
     HashSpec,
-    ObjectKind,
     SeqSpec,
     SketchSpec,
     TableSpec,

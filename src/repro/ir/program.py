@@ -9,8 +9,8 @@ matches the single-pass pipeline constraint of programmable switches
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, replace
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.exceptions import IRError
 from repro.ir.instructions import (

@@ -12,7 +12,7 @@ checking, lowering to IR) lives in :mod:`repro.frontend`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import List, Sequence, Union
 
 from repro.lang.objects import ObjectKind
 

@@ -9,8 +9,8 @@ frontend can lower object accesses to stateful IR instructions.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from dataclasses import dataclass
+from typing import List, Optional
 
 from repro.exceptions import LanguageError
 from repro.ir.instructions import StateDecl, StateKind

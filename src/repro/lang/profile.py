@@ -10,7 +10,7 @@ distribution to weigh paths.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List
 
 from repro.exceptions import ProfileError
 

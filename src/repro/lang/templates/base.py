@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple, Type
+from typing import Dict, Tuple, Type
 
 from repro.exceptions import ProfileError
 from repro.lang.profile import Profile

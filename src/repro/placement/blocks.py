@@ -14,8 +14,8 @@ Construction follows the three steps of the paper:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Tuple
 
 import networkx as nx
 

@@ -15,7 +15,7 @@ Two kinds of dependencies are modelled:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+from typing import Dict, List, Tuple
 
 import networkx as nx
 

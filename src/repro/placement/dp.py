@@ -20,8 +20,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.devices.base import Device
-from repro.exceptions import PlacementError
+from repro.exceptions import PlacementConflictError, PlacementError
 from repro.ir.program import IRProgram
 from repro.placement.blocks import Block, BlockDAG, build_block_dag
 from repro.placement.intra import IntraDeviceAllocator, StageAssignment
@@ -85,7 +84,14 @@ class DPPlacer:
     # public API
     # ------------------------------------------------------------------ #
     def place(self, request: PlacementRequest) -> PlacementPlan:
-        """Compute a placement plan for *request*.
+        """Compute a *speculative* placement plan for *request*.
+
+        The search is commit-free: it reads device allocations but never
+        mutates them, so independent requests can be placed concurrently
+        (even in separate worker processes holding a snapshot of the
+        topology).  The returned plan records the allocation fingerprints of
+        every device consulted; :meth:`commit` applies the plan's resources
+        and can revalidate those fingerprints first (see :meth:`validate`).
 
         Raises :class:`~repro.exceptions.PlacementError` when no feasible
         placement exists on the devices along the requested paths.
@@ -117,10 +123,54 @@ class DPPlacer:
         plan = self._materialise_plan(
             block_dag, ordered_blocks, tree, candidate, request, elapsed
         )
+        self._stamp_fingerprints(plan, tree)
         return plan
 
-    def commit(self, plan: PlacementPlan) -> None:
-        """Allocate the plan's resources on the topology's devices."""
+    def _stamp_fingerprints(self, plan: PlacementPlan, tree: ReducedTree) -> None:
+        """Record the allocation state the speculative search was based on."""
+        consulted = set()
+        for node in tree.all_nodes():
+            consulted.update(node.ec.members)
+            consulted.update(node.bypass)
+        plan.device_fingerprints = self.topology.device_fingerprints(consulted)
+        plan.topology_fingerprint = self.topology.allocation_fingerprint()
+
+    def validate(self, plan: PlacementPlan) -> List[str]:
+        """Names of consulted devices whose allocations changed since *plan*.
+
+        An empty list means the plan is still exactly the one a sequential
+        placement against the live topology would produce, so it can be
+        committed as-is.  Plans without fingerprints (hand-built, or from
+        older cache entries) validate trivially.
+        """
+        if plan.device_fingerprints:
+            live = self.topology.device_fingerprints(plan.device_fingerprints)
+            return sorted(
+                name for name, fingerprint in plan.device_fingerprints.items()
+                if live.get(name) != fingerprint
+            )
+        if plan.topology_fingerprint is not None:
+            if self.topology.allocation_fingerprint() != plan.topology_fingerprint:
+                return ["<topology>"]
+        return []
+
+    def commit(self, plan: PlacementPlan, validate: bool = False) -> None:
+        """Allocate the plan's resources on the topology's devices.
+
+        With ``validate=True`` the plan's recorded device fingerprints are
+        checked first and a
+        :class:`~repro.exceptions.PlacementConflictError` is raised (before
+        any allocation) when another commit has touched a consulted device —
+        the caller should re-place sequentially against the live topology.
+        """
+        if validate:
+            conflicts = self.validate(plan)
+            if conflicts:
+                raise PlacementConflictError(
+                    f"speculative plan for {plan.program_name!r} conflicts on "
+                    f"devices {conflicts}; re-place against the live topology",
+                    conflicts=conflicts,
+                )
         for assignment in plan.assignments:
             for device_name, stage_assignment in assignment.stage_assignments.items():
                 device = self.topology.device(device_name)

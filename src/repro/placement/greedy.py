@@ -12,7 +12,7 @@ Two strawman strategies the paper contrasts with the DP algorithm:
 from __future__ import annotations
 
 import time
-from typing import Dict, List, Optional, Sequence
+from typing import List, Sequence
 
 from repro.devices.base import Device
 from repro.exceptions import PlacementError
@@ -80,6 +80,9 @@ class GreedySinglePathPlacer:
         plan.served_traffic_fraction = 1.0 / max(
             1, len(self.topology.paths_between_groups(source_group, destination_group))
         )
+        # the greedy search consulted exactly the devices of the chosen path
+        plan.device_fingerprints = self.topology.device_fingerprints(path)
+        plan.topology_fingerprint = self.topology.allocation_fingerprint()
         if not plan.is_complete():
             raise PlacementError(
                 f"greedy single-path placement could not fit {program.name!r} "
@@ -132,4 +135,8 @@ class ReplicateAllPlacer:
             )
         plan.compile_time_s = time.perf_counter() - start_time
         plan.gain = 1.0 - plan.normalized_resource() * 0.25
+        plan.device_fingerprints = self.topology.device_fingerprints(
+            [device.name for device in devices]
+        )
+        plan.topology_fingerprint = self.topology.allocation_fingerprint()
         return plan

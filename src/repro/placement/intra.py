@@ -18,11 +18,10 @@ demands so the caller can commit or roll back the allocation.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.devices.base import Architecture, Device
-from repro.exceptions import PlacementError
 from repro.ir.instructions import Instruction
 from repro.ir.program import IRProgram
 

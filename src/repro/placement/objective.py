@@ -17,7 +17,7 @@ fills up resource conservation dominates.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Optional
+from typing import Iterable, Optional
 
 from repro.devices.base import Device
 

@@ -9,11 +9,11 @@ per-device IR program snippets for synthesis and emulation.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Set
 
 from repro.exceptions import PlacementError
 from repro.ir.program import IRProgram
-from repro.placement.blocks import Block, BlockDAG
+from repro.placement.blocks import BlockDAG
 from repro.placement.intra import StageAssignment
 
 
@@ -48,6 +48,15 @@ class PlacementPlan:
     served_traffic_fraction: float = 1.0
     transfer_bits: int = 0
     metadata: Dict[str, object] = field(default_factory=dict)
+    #: Full-topology allocation fingerprint at placement time.  A speculative
+    #: (commit-free) plan whose fingerprint still matches the live topology
+    #: can be committed with no further checks.
+    topology_fingerprint: Optional[str] = None
+    #: Allocation fingerprints of every device the placement search consulted
+    #: (not just the devices the plan uses).  If these all still match at
+    #: commit time the plan is provably the one a sequential placement under
+    #: the live topology would produce; any mismatch is a conflict.
+    device_fingerprints: Dict[str, str] = field(default_factory=dict)
 
     # ------------------------------------------------------------------ #
     # queries

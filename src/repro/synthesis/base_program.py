@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from repro.ir.instructions import Instruction, Opcode, StateDecl, StateKind
+from repro.ir.instructions import Opcode, StateDecl, StateKind
 from repro.ir.program import HeaderField, IRProgram
 
 

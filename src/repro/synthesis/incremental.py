@@ -12,12 +12,11 @@ against.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set
+from typing import Dict, List, Set
 
 from repro.exceptions import DeploymentError, SynthesisError
-from repro.ir.program import IRProgram
 from repro.placement.plan import PlacementPlan
-from repro.synthesis.base_program import BaseProgram, default_base_program
+from repro.synthesis.base_program import default_base_program
 from repro.synthesis.isolation import isolate_program
 from repro.synthesis.merge import (
     DeviceExecutable,

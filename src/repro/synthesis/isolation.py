@@ -12,7 +12,7 @@ Two mechanisms:
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Tuple
 
 from repro.ir.instructions import Instruction, Opcode
 from repro.ir.program import IRProgram

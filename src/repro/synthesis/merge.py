@@ -16,12 +16,11 @@ The merge handles the two program parts separately:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional
 
 from repro.devices.base import Architecture, Device
 from repro.exceptions import SynthesisError
-from repro.ir.instructions import Instruction
-from repro.ir.program import HeaderField, IRProgram
+from repro.ir.program import IRProgram
 from repro.synthesis.base_program import BaseProgram, ParseNode
 
 

@@ -12,7 +12,7 @@ Two flavours are provided:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional
 
 from repro.devices.registry import make_device
 from repro.exceptions import TopologyError

@@ -8,8 +8,9 @@ uses to find the devices INC programs can occupy.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
 
 import networkx as nx
 
@@ -189,6 +190,33 @@ class NetworkTopology:
         for a, b in zip(path, path[1:]):
             capacities.append(self.link(a, b).capacity_gbps)
         return min(capacities)
+
+    # ------------------------------------------------------------------ #
+    # allocation fingerprints (optimistic concurrency for placement)
+    # ------------------------------------------------------------------ #
+    def device_fingerprints(self, names: Optional[Iterable[str]] = None
+                            ) -> Dict[str, str]:
+        """Per-device allocation fingerprints (all devices by default).
+
+        A speculative placement plan records the fingerprints of every device
+        it consulted; the commit step compares them against the live values
+        to detect conflicting allocations made in between.
+        """
+        selected = sorted(names) if names is not None else sorted(self.devices)
+        return {name: self.device(name).allocation_fingerprint()
+                for name in selected}
+
+    def allocation_fingerprint(self, names: Optional[Iterable[str]] = None
+                               ) -> str:
+        """Hash of the current allocations of *names* (default: all devices).
+
+        Committing a plan changes it; releasing the same plan restores it, so
+        it addresses the mutable part of the world placement depends on.
+        """
+        payload = "|".join(
+            f"{name}:{fp}" for name, fp in self.device_fingerprints(names).items()
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
     def reset_resources(self) -> None:
         """Release every allocation on every device (between experiments)."""

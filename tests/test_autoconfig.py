@@ -1,6 +1,5 @@
 """Unit tests for the learning-based parameter auto-configuration."""
 
-import numpy as np
 import pytest
 
 from repro.apps.autoconfig import (

@@ -52,7 +52,9 @@ class TestAllGenerators:
         from repro.lang.profile import default_profile
 
         template_source = KVSTemplate().render(default_profile("KVS")).source
-        clickinc_loc = len([l for l in template_source.splitlines() if l.strip()])
+        clickinc_loc = len(
+            [line for line in template_source.splitlines() if line.strip()]
+        )
         p4_loc = P4Generator().loc(kvs_program)
         assert p4_loc > 3 * clickinc_loc
 

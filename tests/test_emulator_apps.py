@@ -3,16 +3,10 @@ the network emulator."""
 
 import pytest
 
-from repro.apps import (
-    DQAccApplication,
-    KVSApplication,
-    MLAggApplication,
-    SparseMLAggApplication,
-)
+from repro.apps import DQAccApplication, KVSApplication, MLAggApplication
 from repro.core import ClickINC
 from repro.emulator.traffic import DQAccWorkload, KVSWorkload, MLAggWorkload, zipf_keys
 from repro.exceptions import DeploymentError
-from repro.topology import build_paper_emulation_topology
 
 
 @pytest.fixture()

@@ -2,12 +2,11 @@
 
 import pytest
 
-from repro.exceptions import CompileError, LanguageError, UnrollError
+from repro.exceptions import CompileError, UnrollError
 from repro.frontend import FrontendCompiler, compile_source
 from repro.frontend.folding import ConstantEnv, is_constant, try_eval, unroll_range
-from repro.ir.instructions import InstrClass, Opcode
+from repro.ir.instructions import Opcode
 from repro.lang import ast_nodes as cn
-from repro.lang.parser import parse_program
 
 
 class TestConstantFolding:

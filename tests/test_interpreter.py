@@ -1,13 +1,11 @@
 """Unit tests for the per-device IR interpreter."""
 
-import pytest
 
 from repro.devices import TofinoDevice
 from repro.emulator import DeviceRuntime, Packet
 from repro.emulator.interpreter import MISS, StateStore, crc_hash
 from repro.frontend import compile_source
-from repro.ir.instructions import Instruction, Opcode, StateDecl, StateKind
-from repro.ir.program import HeaderField, IRProgram
+from repro.ir.instructions import StateDecl, StateKind
 
 
 def make_runtime():

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.exceptions import IRError
-from repro.ir.instructions import Instruction, InstrClass, Opcode, StateDecl, StateKind
+from repro.ir.instructions import InstrClass, Opcode, StateDecl, StateKind
 from repro.ir.program import HeaderField, IRProgram
 
 

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.exceptions import IRError
-from repro.ir.instructions import Instruction, Opcode, StateDecl, StateKind
+from repro.ir.instructions import Instruction, Opcode
 from repro.ir.program import HeaderField, IRProgram
 from repro.ir.verify import verify_program
 

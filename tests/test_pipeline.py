@@ -9,7 +9,6 @@ from repro.core import ArtifactCache, ClickINC, DeployRequest
 from repro.core.cache import topology_resource_fingerprint
 from repro.core.pipeline import STAGE_ORDER
 from repro.exceptions import BackendError, DeploymentError, EmulationError
-from repro.frontend import compile_template
 from repro.lang.profile import default_profile
 from repro.topology import build_paper_emulation_topology
 

@@ -3,8 +3,7 @@
 import networkx as nx
 import pytest
 
-from repro.frontend import compile_source
-from repro.ir.instructions import Instruction, InstrClass, Opcode, StateDecl, StateKind
+from repro.ir.instructions import Opcode, StateDecl, StateKind
 from repro.ir.program import HeaderField, IRProgram
 from repro.placement import build_block_dag, build_dependency_graph
 from repro.placement.depgraph import live_variable_widths

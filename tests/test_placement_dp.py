@@ -12,9 +12,7 @@ from repro.placement import (
     GreedySinglePathPlacer,
     PlacementRequest,
     ReplicateAllPlacer,
-    build_block_dag,
 )
-from repro.topology import build_paper_emulation_topology
 from repro.topology.fattree import build_chain
 
 

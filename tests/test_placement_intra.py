@@ -3,7 +3,7 @@
 import pytest
 
 from repro.devices import NetronomeNFPDevice, TofinoDevice, XilinxFPGADevice
-from repro.ir.instructions import Instruction, Opcode, StateDecl, StateKind
+from repro.ir.instructions import Opcode, StateDecl, StateKind
 from repro.ir.program import HeaderField, IRProgram
 from repro.placement import IntraDeviceAllocator, ObjectiveWeights, PlacementObjective
 

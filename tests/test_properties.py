@@ -8,7 +8,7 @@ from repro.devices import TofinoDevice
 from repro.emulator import DeviceRuntime, Packet
 from repro.emulator.interpreter import StateStore, crc_hash
 from repro.frontend import compile_source
-from repro.ir.instructions import Instruction, Opcode, StateDecl, StateKind
+from repro.ir.instructions import Opcode, StateDecl, StateKind
 from repro.ir.program import HeaderField, IRProgram
 from repro.placement import build_block_dag, build_dependency_graph
 from repro.placement.intra import IntraDeviceAllocator

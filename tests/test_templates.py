@@ -5,7 +5,7 @@ import pytest
 from repro.exceptions import ProfileError
 from repro.frontend import compile_source
 from repro.ir.instructions import InstrClass
-from repro.lang.profile import default_profile, Profile, PacketFormat
+from repro.lang.profile import default_profile
 from repro.lang.templates import (
     DQAccTemplate,
     KVSTemplate,
