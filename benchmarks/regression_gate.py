@@ -2,14 +2,19 @@
 """CI benchmark-regression gate for the compilation pipeline.
 
 Runs the cold-batch deployment benchmark
-(:mod:`benchmarks.bench_parallel_deploy`), writes the measurements to a
-``BENCH_pipeline.json`` artifact, and exits non-zero when
+(:mod:`benchmarks.bench_parallel_deploy`) and the async service-runtime
+benchmark (:mod:`benchmarks.bench_async_service`), writes the measurements
+to a ``BENCH_pipeline.json`` artifact, and exits non-zero when
 
 * cold-batch throughput regresses more than ``tolerance`` (default 30%)
   below the committed numbers in ``benchmarks/BENCH_baseline.json``,
-* a batch stops producing the placements of the equivalent serial loop, or
+* a batch stops producing the placements of the equivalent serial loop,
 * the machine has enough cores for the parallel run but the speedup falls
-  below the baseline's ``min_parallel_speedup``.
+  below the baseline's ``min_parallel_speedup``,
+* the service's persistent pool re-forks between waves, a warm wave is not
+  faster than the fork wave (``max_async_warm_wave_ratio``), re-submissions
+  stop hitting the written-back plan cache, or interleaved submit/remove
+  traffic diverges from the serial schedule.
 
 Usage (from the repository root, with ``PYTHONPATH=src``)::
 
@@ -27,6 +32,9 @@ from pathlib import Path
 # allow `python benchmarks/regression_gate.py` from the repository root
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
 
+from benchmarks.bench_async_service import (  # noqa: E402
+    run_all as run_async_service,
+)
 from benchmarks.bench_parallel_deploy import (  # noqa: E402
     PARALLEL_WORKERS,
     run_all,
@@ -40,6 +48,9 @@ def measure() -> dict:
     results = run_all()
     cold = results["cold_batch"]
     conflicts = results["conflicts"]
+    service = run_async_service()
+    sustained = service["sustained"]
+    interleaved = service["interleaved"]
     return {
         "generated_unix_time": int(time.time()),
         "cores": usable_cores(),
@@ -53,6 +64,12 @@ def measure() -> dict:
             cold["identical_placements"] and conflicts["identical_placements"]
         ),
         "conflicts_replaced": conflicts["replaced_on_conflict"],
+        "async_warm_wave_ratio": round(sustained["warm_wave_ratio"], 3),
+        "async_pool_generation": sustained["pool_generation"],
+        "async_resubmit_hits": sustained["resubmit_hits"],
+        "async_resubmit_n": sustained["resubmit_n"],
+        "async_sustained_rps": round(sustained["sustained_rps"], 3),
+        "async_identical_placements": bool(interleaved["identical_placements"]),
     }
 
 
@@ -87,6 +104,32 @@ def check(measured: dict, baseline: dict) -> list:
                 f" the required {min_speedup:.2f}x on a"
                 f" {measured['cores']}-core machine"
             )
+
+    # the async service runtime: persistent pool + plan-cache write-back
+    if measured["async_pool_generation"] != 1:
+        failures.append(
+            f"the service worker pool was created"
+            f" {measured['async_pool_generation']} times in one run — waves"
+            " are re-forking instead of re-syncing"
+        )
+    max_ratio = float(baseline.get("max_async_warm_wave_ratio", 1.0))
+    if measured["async_warm_wave_ratio"] >= max_ratio:
+        failures.append(
+            f"warm wave latency is {measured['async_warm_wave_ratio']:.2f}x"
+            f" the fork wave (must stay below {max_ratio:.2f}x): the"
+            " persistent pool no longer saves the per-batch fork"
+        )
+    if measured["async_resubmit_hits"] < measured["async_resubmit_n"]:
+        failures.append(
+            f"only {measured['async_resubmit_hits']}/"
+            f"{measured['async_resubmit_n']} re-submissions hit the"
+            " written-back plan cache"
+        )
+    if not measured["async_identical_placements"]:
+        failures.append(
+            "interleaved async submit/remove traffic no longer matches the"
+            " equivalent serial schedule"
+        )
     return failures
 
 

@@ -23,6 +23,7 @@ from repro.core.pipeline import (
     PipelineReport,
     StageRecord,
 )
+from repro.core.service import INCService
 
 __all__ = [
     "ArtifactCache",
@@ -30,6 +31,7 @@ __all__ = [
     "CompilationPipeline",
     "DeployRequest",
     "DeployedProgram",
+    "INCService",
     "ParallelCompileService",
     "PipelineReport",
     "SpeculativeResult",

@@ -30,7 +30,7 @@ import json
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, Iterable, Optional, Tuple
 
 from repro.ir.program import IRProgram
 from repro.topology.network import NetworkTopology
@@ -181,6 +181,53 @@ class ArtifactCache:
             for key in victims:
                 del self._entries[key]
             return len(victims)
+
+    def invalidate_matching(self, namespace: str, predicate) -> int:
+        """Drop *namespace* entries whose value satisfies *predicate*.
+
+        Returns the number of entries dropped.  The predicate runs under the
+        cache lock, so it must be cheap and must not call back into the
+        cache.
+        """
+        with self._lock:
+            victims = [
+                key for key, value in self._entries.items()
+                if self._namespace_of(key) == namespace and predicate(value)
+            ]
+            for key in victims:
+                del self._entries[key]
+            return len(victims)
+
+    def prune_stale_plans(self, live_fingerprints: Dict[str, str],
+                          devices: Optional[Iterable[str]] = None) -> int:
+        """Evict ``plan`` entries stamped against superseded device states.
+
+        A cached plan records the allocation fingerprint of every device its
+        search consulted.  After a removal frees capacity on *devices*, any
+        entry whose search consulted one of them under a different allocation
+        state — i.e. an entry that assumed the removed program's resources
+        were (or were not) present — can never validate against the live
+        topology again; it only pins the LRU and risks being served through a
+        non-content-addressed path.  Entries whose stamps on *devices* match
+        *live_fingerprints* are retained (e.g. the removed program's own
+        plan, stamped against the very state the removal just restored —
+        keeping warm re-deploys warm), as are entries that never consulted
+        the affected devices (disjoint tenants keep their warm plans).  With
+        ``devices=None`` every stamped device is checked.
+        """
+        affected = set(devices) if devices is not None else None
+
+        def stale(value: object) -> bool:
+            fingerprints = getattr(value, "device_fingerprints", None)
+            if not fingerprints:
+                return False
+            return any(
+                live_fingerprints.get(name) != fingerprint
+                for name, fingerprint in fingerprints.items()
+                if affected is None or name in affected
+            )
+
+        return self.invalidate_matching("plan", stale)
 
     # ------------------------------------------------------------------ #
     def __len__(self) -> int:

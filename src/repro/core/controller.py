@@ -151,9 +151,12 @@ class ClickINC:
         Either way placement, synthesis and emulator installs commit
         sequentially in request order, so the batch produces exactly the
         placements (and name-collision behaviour) of a serial loop over the
-        same requests.  Requests caught in a worker-process crash are
-        retried in-process; only a genuine failure is captured, per
-        request, never a batch abort.
+        same requests.  The worker pool is persistent: the first
+        ``workers=N`` batch forks it, later batches re-sync the workers'
+        topology snapshots via fingerprint deltas instead of re-forking
+        (release it with :meth:`close` or a ``with`` block).  Requests
+        caught in a worker-process crash are retried in-process; only a
+        genuine failure is captured, per request, never a batch abort.
 
         Returns one :class:`PipelineReport` per request, in request order;
         failed requests carry ``succeeded=False`` and an ``error`` instead
@@ -174,25 +177,44 @@ class ClickINC:
         Removal is atomic with respect to the controller's book-keeping: the
         program stays registered until every layer released it, and a failure
         mid-removal re-installs the already-released layers before
-        re-raising, so no resources are stranded without a record.
+        re-raising, so no resources are stranded without a record.  The
+        removal also evicts plan-cache entries stamped against the
+        pre-removal allocations of the affected devices (they can no longer
+        validate once the capacity they assumed occupied is free again).
         """
         deployed = self.deployed.get(name)
         if deployed is None:
             raise DeploymentError(f"program {name!r} is not deployed")
-        delta = self.synthesizer.remove_program(name, lazy=lazy)
-        try:
-            self.placer.release(deployed.plan)
-        except Exception:
-            self.synthesizer.add_program(deployed.plan)
-            raise
-        try:
-            self.emulator.undeploy(name)
-        except Exception:
-            self.placer.commit(deployed.plan)
-            self.synthesizer.add_program(deployed.plan)
-            raise
+        delta = self.pipeline.remove(name, deployed, lazy=lazy)
         del self.deployed[name]
         return delta
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Release the persistent worker pool deterministically.
+
+        Safe to call multiple times; afterwards the controller remains
+        usable (a later ``deploy_many(workers=N)`` simply starts a fresh
+        pool).  Without an explicit close the pool would only be reaped at
+        garbage collection / interpreter exit.
+        """
+        self.pipeline.close()
+
+    def __enter__(self) -> "ClickINC":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
+
+    def as_service(self, workers: int = 2, max_wave: int = 8):
+        """An asyncio :class:`~repro.core.service.INCService` over this
+        controller (shares its pipeline, cache and deployed-program
+        registry)."""
+        from repro.core.service import INCService
+
+        return INCService(self, workers=workers, max_wave=max_wave)
 
     # ------------------------------------------------------------------ #
     # runtime

@@ -11,13 +11,25 @@ consulted and the sequential commit phase in the parent either applies it
 unchanged (fingerprints still match — provably the sequential result) or
 re-places on conflict.
 
+The pool is **persistent**: it survives across batches (the service is owned
+by the pipeline, see ``CompilationPipeline.parallel_service``), so only the
+first batch pays the fork.  Workers re-synchronise through an epoch-tagged
+fingerprint-delta protocol instead of being re-forked: the parent tracks
+which devices drifted from the fork-time snapshot
+(``NetworkTopology.fingerprint_delta``) and ships their absolute allocation
+state with every batch; a worker applies the delta once per epoch
+(application is idempotent) and stamps the plans it produces with the synced
+epoch, which lets the parent's commit phase validate an untouched world with
+a single integer comparison.
+
 The service degrades gracefully: with ``workers <= 1``, when the pool cannot
 be created, or for request payloads that cannot be pickled, it falls back to
 the in-process compile path.  A worker-process crash (``BrokenProcessPool``,
 which fails every in-flight future of the wave) triggers an in-process retry
 of the affected requests — the compile stages are pure, so this is safe —
 and only a genuine retry failure is recorded, per-request, instead of
-aborting the batch.
+aborting the batch; the broken pool is replaced (with a fresh snapshot and
+baseline) at the start of the next batch.
 """
 
 from __future__ import annotations
@@ -25,15 +37,17 @@ from __future__ import annotations
 import multiprocessing
 import pickle
 import time
+import weakref
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.core.cache import ArtifactCache
 from repro.core.pipeline import (
     DeployRequest,
     StageRecord,
     compile_request,
+    rebrand_plan,
     single_flight_waves,
 )
 from repro.frontend.compiler import FrontendCompiler
@@ -46,6 +60,11 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.core.pipeline import CompilationPipeline
 
 __all__ = ["ParallelCompileService", "SpeculativeResult"]
+
+#: A batch's snapshot re-sync payload: the parent topology's allocation
+#: epoch plus the absolute allocation state of every device that drifted
+#: from the pool's fork-time baseline.
+SyncPayload = Tuple[int, Dict[str, Dict[str, object]]]
 
 
 @dataclass
@@ -65,6 +84,10 @@ class SpeculativeResult:
     error: Optional[str] = None
     failed_stage: Optional[str] = None
     via: str = "process"
+    #: True when ``plan`` was served from the shared plan cache (a previous
+    #: committed speculative plan written back); the commit phase records it
+    #: as a placement cache hit and skips the redundant write-back.
+    plan_from_cache: bool = False
 
 
 #: Per-worker state built once by the pool initializer (each worker process
@@ -74,22 +97,43 @@ _WORKER_CONTEXT: Dict[str, object] = {}
 
 def _worker_init(topology, adaptive_weights: bool) -> None:
     """Initialise one worker process with a snapshot of the topology."""
+    _WORKER_CONTEXT["topology"] = topology
     _WORKER_CONTEXT["compiler"] = FrontendCompiler()
     _WORKER_CONTEXT["placer"] = DPPlacer(topology)
     _WORKER_CONTEXT["cache"] = ArtifactCache()
     _WORKER_CONTEXT["adaptive_weights"] = bool(adaptive_weights)
+    _WORKER_CONTEXT["epoch"] = -1
+
+
+def _worker_apply_sync(sync: Optional[SyncPayload]) -> None:
+    """Bring the worker's topology snapshot up to the batch's epoch.
+
+    The payload carries *absolute* device allocation states, so applying it
+    is idempotent; the epoch guard merely avoids re-applying the same delta
+    for every request of a wave.
+    """
+    if sync is None:
+        return
+    epoch, states = sync
+    if epoch <= _WORKER_CONTEXT["epoch"]:
+        return
+    topology = _WORKER_CONTEXT["topology"]
+    topology.apply_allocation_states(states)
+    _WORKER_CONTEXT["epoch"] = epoch
 
 
 def _worker_compile_and_place(
     index: int,
     request: DeployRequest,
     precompiled: Optional[IRProgram],
+    sync: Optional[SyncPayload] = None,
 ) -> SpeculativeResult:
     """Run frontend → ir-verify → speculative placement for one request.
 
     Never raises: failures come back as picklable ``error``/``failed_stage``
     fields so the parent can fill the request's ``PipelineReport``.
     """
+    _worker_apply_sync(sync)
     compiler: FrontendCompiler = _WORKER_CONTEXT["compiler"]
     placer: DPPlacer = _WORKER_CONTEXT["placer"]
     records: List[StageRecord] = []
@@ -133,6 +177,10 @@ def _worker_compile_and_place(
             adaptive_weights=_WORKER_CONTEXT["adaptive_weights"],
         )
         plan = placer.place(placement_request)
+        # the worker's device versions are meaningless to the parent; stamp
+        # the plan with the parent epoch its snapshot was synced to, so the
+        # parent can epoch-validate it
+        plan.epoch = _WORKER_CONTEXT["epoch"] if sync is not None else None
     except Exception as exc:
         # the commit phase retries placement against the live topology, so a
         # snapshot-time failure is advisory rather than final
@@ -162,19 +210,24 @@ def _picklable(payload) -> bool:
 
 
 class ParallelCompileService:
-    """Owns the process pool behind ``run_many(..., workers=N)``.
+    """Owns the persistent process pool behind ``run_many(..., workers=N)``.
 
     Responsibilities:
 
     * the ``ProcessPoolExecutor`` whose workers hold a topology snapshot
-      taken when the service is created (fork) or shipped to them (spawn);
+      taken when the pool starts (fork) or shipped to them (spawn); the pool
+      is reused across batches and every batch carries an epoch-tagged
+      re-sync payload (the allocation state of devices that drifted from the
+      fork-time baseline) so worker snapshots track the live topology
+      without re-forking;
     * single-flight deduplication shared with the pipeline's
       :class:`~repro.core.cache.ArtifactCache`: requests with equal compile
       keys ride on one leader compilation, leader programs are stored back
       into the shared cache, and followers receive them pre-compiled;
     * fallbacks — ``workers <= 1``, an unavailable pool, or an unpicklable
       request payload all use the in-process compile path, and requests
-      caught in a worker-process crash are retried in-process.
+      caught in a worker-process crash are retried in-process; a broken
+      pool is replaced (fresh snapshot + baseline) at the next batch.
     """
 
     def __init__(
@@ -185,19 +238,71 @@ class ParallelCompileService:
     ) -> None:
         self.pipeline = pipeline
         self.workers = max(1, int(workers))
+        self._mp_context = mp_context
         self._pool: Optional[ProcessPoolExecutor] = None
+        self._finalizer = None
+        self._pool_broken = False
+        self._pool_unavailable = False
+        #: fork-time per-device fingerprints (what the workers saw)
+        self._baseline_fps: Dict[str, str] = {}
+        #: devices that ever drifted from the baseline — they stay in every
+        #: sync payload so a worker holding an intermediate state is always
+        #: re-synced, even when the live state drifts *back* to baseline
+        self._ever_dirty: Set[str] = set()
+        #: observability: batches served and pools created over the lifetime
+        self.batches_served = 0
+        self.pool_generation = 0
         if self.workers > 1:
-            try:
-                self._pool = ProcessPoolExecutor(
-                    max_workers=self.workers,
-                    mp_context=mp_context or _default_context(),
-                    initializer=_worker_init,
-                    initargs=(pipeline.topology, pipeline.adaptive_weights),
-                )
-            except (OSError, ValueError):  # no usable multiprocessing
-                self._pool = None
+            self._start_pool()
 
     # ------------------------------------------------------------------ #
+    # pool lifecycle
+    # ------------------------------------------------------------------ #
+    def _start_pool(self) -> None:
+        try:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.workers,
+                mp_context=self._mp_context or _default_context(),
+                initializer=_worker_init,
+                initargs=(self.pipeline.topology, self.pipeline.adaptive_weights),
+            )
+        except (OSError, ValueError):  # no usable multiprocessing
+            self._pool = None
+            self._pool_unavailable = True
+            return
+        # safety net for callers that never close(): reap the workers when
+        # the service itself is collected (the bound method keeps the pool
+        # alive, not the service, so the finalizer cannot leak `self`)
+        self._detach_finalizer()
+        self._finalizer = weakref.finalize(
+            self, self._pool.shutdown, wait=False
+        )
+        self._pool_broken = False
+        self.pool_generation += 1
+        # With fork, workers inherit the parent's memory when they are
+        # actually spawned (first submit), which can only be *later* than
+        # this baseline — the delta protocol then over-syncs harmlessly
+        # (absolute states, idempotent application), never under-syncs.
+        self._baseline_fps = self.pipeline.topology.device_fingerprints()
+        self._ever_dirty = set()
+
+    def _detach_finalizer(self) -> None:
+        if self._finalizer is not None:
+            self._finalizer.detach()
+            self._finalizer = None
+
+    def _ensure_pool(self) -> None:
+        """Replace a pool whose workers crashed; never resurrect an
+        environment where pools cannot be created at all."""
+        if self.workers <= 1 or self._pool_unavailable:
+            return
+        if self._pool is None or self._pool_broken:
+            if self._pool is not None:
+                self._detach_finalizer()
+                self._pool.shutdown(wait=False)
+                self._pool = None
+            self._start_pool()
+
     def __enter__(self) -> "ParallelCompileService":
         return self
 
@@ -205,9 +310,43 @@ class ParallelCompileService:
         self.close()
 
     def close(self) -> None:
+        """Shut the worker pool down deterministically (idempotent)."""
+        self._detach_finalizer()
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
+
+    # ------------------------------------------------------------------ #
+    # snapshot re-sync
+    # ------------------------------------------------------------------ #
+    def _sync_payload(self) -> Optional[SyncPayload]:
+        """The epoch + drifted-device states the workers need this batch.
+
+        Every task of the batch carries the payload (an idle worker may not
+        have seen any earlier batch, so per-task delivery with the worker's
+        epoch guard is what keeps snapshots correct).  The dirty set only
+        grows while a pool lives — devices that drift back to the baseline
+        must stay in it, since a worker may hold the intermediate state —
+        so once more than half the topology has drifted the pool is
+        replaced instead: a fresh fork re-snapshots everything and resets
+        the delta to empty, keeping the per-task payload bounded for
+        always-on services.
+        """
+        if self._pool is None:
+            return None
+        topology = self.pipeline.topology
+        self._ever_dirty.update(topology.fingerprint_delta(self._baseline_fps))
+        if len(self._ever_dirty) > max(8, len(topology.devices) // 2):
+            self._detach_finalizer()
+            self._pool.shutdown(wait=False)
+            self._pool = None
+            self._start_pool()
+            if self._pool is None:  # pragma: no cover - mp became unusable
+                return None
+        return (
+            topology.allocation_epoch(),
+            topology.allocation_states(sorted(self._ever_dirty)),
+        )
 
     # ------------------------------------------------------------------ #
     def compile_batch(
@@ -216,12 +355,27 @@ class ParallelCompileService:
         """Compile + speculatively place a batch; results in request order."""
         requests = list(requests)
         results: List[Optional[SpeculativeResult]] = [None] * len(requests)
+        self._ensure_pool()
+        sync = self._sync_payload()
         cache = self.pipeline.cache
         keys = [self.pipeline.program_cache_key(request) for request in requests]
 
-        leaders, followers = single_flight_waves(keys)
+        # warm path: requests whose compiled program *and* placement (under
+        # the live allocation state) are already in the shared cache — e.g.
+        # a re-submission after a removal restored the state a committed
+        # speculative plan was written back against — skip the pool
+        # entirely; the commit phase validates the cached plan like any
+        # other speculative plan, so serial equivalence is preserved.
+        warm: set = set()
+        for index, request in enumerate(requests):
+            result = self._warm_lookup(index, request, keys[index])
+            if result is not None:
+                results[index] = result
+                warm.add(index)
 
-        self._run_wave(requests, leaders, {}, results)
+        leaders, followers = single_flight_waves(keys, skip=warm)
+
+        self._run_wave(requests, leaders, {}, results, sync)
         for index in leaders:
             result = results[index]
             # a program is only set once it passed ir-verify, so it is
@@ -233,8 +387,76 @@ class ParallelCompileService:
         for index in followers:
             hit, cached = cache.lookup(keys[index])
             precompiled[index] = cached if hit else None
-        self._run_wave(requests, followers, precompiled, results)
+        self._run_wave(requests, followers, precompiled, results, sync)
+        self.batches_served += 1
         return results
+
+    # ------------------------------------------------------------------ #
+    def _warm_lookup(
+        self, index: int, request: DeployRequest, program_key: Optional[str]
+    ) -> Optional[SpeculativeResult]:
+        """Serve one request from the shared caches, or None to dispatch it.
+
+        A warm hit needs the compiled program (request-supplied or in the
+        ``program`` namespace) *and* a plan stored under the live allocation
+        state (``plan`` namespace — populated by ``_place_cached`` and by
+        the commit phase's speculative write-back).
+        """
+        pipeline = self.pipeline
+        cache = pipeline.cache
+        name = request.resolved_name()
+        start = time.perf_counter()
+        if request.program is not None:
+            program = request.program
+            if program.name != name:
+                program = program.rebrand(name)
+            frontend = StageRecord(
+                "frontend",
+                time.perf_counter() - start,
+                detail={"kind": "precompiled"},
+            )
+        elif program_key is not None and program_key in cache:
+            hit, cached = cache.lookup(program_key)
+            if not hit:  # pragma: no cover - raced out by LRU eviction
+                return None
+            program = cached.rebrand(name)
+            frontend = StageRecord(
+                "frontend",
+                time.perf_counter() - start,
+                cache_hit=True,
+                detail={"kind": "warm"},
+            )
+        else:
+            return None
+        plan_key = pipeline.plan_cache_key(
+            pipeline.placement_request(program, request)
+        )
+        if plan_key not in cache:
+            return None
+        hit, cached_plan = cache.lookup(plan_key)
+        if not hit:  # pragma: no cover - raced out by LRU eviction
+            return None
+        records = [frontend]
+        stage_start = time.perf_counter()
+        try:
+            verify_program(program)
+            records.append(StageRecord("ir-verify", time.perf_counter() - stage_start))
+            plan = rebrand_plan(cached_plan, program)
+        except Exception:
+            # an unverifiable program / mismatched plan falls back to the
+            # normal dispatch path, which reports errors per-request
+            return None
+        # the plan key embeds the live topology fingerprint: a hit proves
+        # the allocation state is content-identical to placement time
+        plan.epoch = pipeline.topology.allocation_epoch()
+        return SpeculativeResult(
+            index=index,
+            program=program,
+            records=records,
+            plan=plan,
+            via="warm-cache",
+            plan_from_cache=True,
+        )
 
     # ------------------------------------------------------------------ #
     def _run_wave(
@@ -243,6 +465,7 @@ class ParallelCompileService:
         indices: List[int],
         precompiled: Dict[int, Optional[IRProgram]],
         results: List[Optional[SpeculativeResult]],
+        sync: Optional[SyncPayload],
     ) -> None:
         futures = {}
         for index in indices:
@@ -252,10 +475,15 @@ class ParallelCompileService:
                 continue
             try:
                 futures[index] = self._pool.submit(
-                    _worker_compile_and_place, index, requests[index], payload
+                    _worker_compile_and_place,
+                    index,
+                    requests[index],
+                    payload,
+                    sync,
                 )
             except Exception:
                 # the pool broke (e.g. a worker crashed in an earlier wave)
+                self._pool_broken = True
                 results[index] = self._compile_inline(index, requests[index])
         for index, future in futures.items():
             try:
@@ -265,6 +493,7 @@ class ParallelCompileService:
                 # future of the wave, not just the culprit; the compile
                 # stages are pure, so retry in-process and surface only a
                 # genuine failure, annotated with the crash
+                self._pool_broken = True
                 retried = self._compile_inline(index, requests[index])
                 retried.via = "inline-after-crash"
                 if retried.error is not None:

@@ -182,7 +182,8 @@ def program_cache_key(request: DeployRequest, cache: ArtifactCache) -> Optional[
     )
 
 
-def single_flight_waves(keys: Sequence[Optional[str]]
+def single_flight_waves(keys: Sequence[Optional[str]],
+                        skip: Optional[set] = None
                         ) -> Tuple[List[int], List[int]]:
     """Partition request indices into single-flight leaders and followers.
 
@@ -190,12 +191,16 @@ def single_flight_waves(keys: Sequence[Optional[str]]
     run in a second wave, once the leaders' programs are in the shared
     cache.  Requests without a key (precompiled IR) are always leaders.
     Both batch drivers (thread and process pool) use this partition, so
-    deduplication semantics cannot diverge between them.
+    deduplication semantics cannot diverge between them.  Indices in *skip*
+    (requests already served, e.g. from the warm plan cache) are excluded
+    from both waves.
     """
     leaders: List[int] = []
     followers: List[int] = []
     seen: set = set()
     for index, key in enumerate(keys):
+        if skip is not None and index in skip:
+            continue
         if key is None or key not in seen:
             leaders.append(index)
             if key is not None:
@@ -294,6 +299,7 @@ def rebrand_plan(plan: PlacementPlan, program: IRProgram) -> PlacementPlan:
         metadata=dict(plan.metadata),
         topology_fingerprint=plan.topology_fingerprint,
         device_fingerprints=dict(plan.device_fingerprints),
+        epoch=plan.epoch,
     )
 
 
@@ -319,6 +325,10 @@ class CompilationPipeline:
         self.cache = cache if cache is not None else ArtifactCache()
         self.generate_code = generate_code
         self.adaptive_weights = adaptive_weights
+        # the persistent process-pool compile service (created lazily by
+        # parallel_service(); kept alive across batches and released by
+        # close())
+        self._parallel = None
 
     # ------------------------------------------------------------------ #
     # pure stages (safe to run concurrently across requests)
@@ -332,12 +342,46 @@ class CompilationPipeline:
         """Run ``frontend`` and ``ir-verify`` for one request."""
         return compile_request(request, self.compiler, self.cache)
 
+    def placement_request(self, program: IRProgram,
+                          request: DeployRequest) -> PlacementRequest:
+        """The placement search input for *program* deployed as *request*."""
+        return PlacementRequest(
+            program=program,
+            source_groups=list(request.source_groups),
+            destination_group=request.destination_group,
+            traffic_rates=dict(request.traffic_rates)
+            if request.traffic_rates else None,
+            adaptive_weights=self.adaptive_weights,
+        )
+
+    def plan_cache_key(self, placement_request: PlacementRequest) -> str:
+        """Content address of a placement under the live topology state.
+
+        The key covers the name-normalised program content, every placement
+        parameter, and a fingerprint of the topology's current allocations —
+        so a hit is only possible when the DP search would provably retrace
+        the cached run.
+        """
+        return self.cache.make_key(
+            "plan",
+            fingerprint_ir(placement_request.program, normalize_name=True),
+            list(placement_request.source_groups),
+            placement_request.destination_group,
+            placement_request.traffic_rates or {},
+            placement_request.max_block_size,
+            placement_request.use_blocks,
+            placement_request.adaptive_weights,
+            placement_request.prune,
+            topology_resource_fingerprint(self.topology),
+        )
+
     # ------------------------------------------------------------------ #
     # commit stages (sequential; mutate shared placer/synth/emulator state)
     # ------------------------------------------------------------------ #
     def commit_stages(self, program: IRProgram, request: DeployRequest,
                       records: List[StageRecord],
-                      speculative_plan: Optional[PlacementPlan] = None
+                      speculative_plan: Optional[PlacementPlan] = None,
+                      speculative_from_cache: bool = False
                       ) -> DeployedProgram:
         """Run placement → synthesis → emulator-install → codegen.
 
@@ -346,6 +390,8 @@ class CompilationPipeline:
         against the live topology first: if no consulted device changed, the
         plan commits as-is; otherwise the request is re-placed sequentially,
         which reproduces exactly what a serial loop would have computed.
+        ``speculative_from_cache`` marks a plan served from the shared plan
+        cache (it is recorded as a cache hit and not written back again).
 
         On failure every already-committed stage is rolled back in reverse
         order before the original exception is re-raised (annotated with a
@@ -370,19 +416,27 @@ class CompilationPipeline:
                                           "conflicts": conflicts}
                 else:
                     plan = speculative_plan
+                    hit = speculative_from_cache
                     speculative_detail = {
                         "speculative": True,
                         "speculative_place_s": speculative_plan.compile_time_s,
                     }
+                    if not speculative_from_cache:
+                        # plan-cache write-back: a validated speculative plan
+                        # is exactly what the sequential DP search would
+                        # produce against the live (pre-commit) topology, so
+                        # store it under the same content address
+                        # _place_cached would use — later identical requests
+                        # hit warm instead of paying the search again in a
+                        # worker.
+                        key = self.plan_cache_key(
+                            self.placement_request(program, request)
+                        )
+                        if key not in self.cache:
+                            self.cache.store(key, plan)
+                            speculative_detail["plan_write_back"] = True
             if plan is None:
-                placement_request = PlacementRequest(
-                    program=program,
-                    source_groups=list(request.source_groups),
-                    destination_group=request.destination_group,
-                    traffic_rates=dict(request.traffic_rates)
-                    if request.traffic_rates else None,
-                    adaptive_weights=self.adaptive_weights,
-                )
+                placement_request = self.placement_request(program, request)
                 plan, hit = self._place_cached(placement_request)
             self.placer.commit(plan)
             undo.append(lambda: self.placer.release(plan))
@@ -459,28 +513,93 @@ class CompilationPipeline:
         the cached run.
         """
         program = placement_request.program
-        key = self.cache.make_key(
-            "plan",
-            fingerprint_ir(program, normalize_name=True),
-            list(placement_request.source_groups),
-            placement_request.destination_group,
-            placement_request.traffic_rates or {},
-            placement_request.max_block_size,
-            placement_request.use_blocks,
-            placement_request.adaptive_weights,
-            placement_request.prune,
-            topology_resource_fingerprint(self.topology),
-        )
+        key = self.plan_cache_key(placement_request)
         hit, cached = self.cache.lookup(key)
         if hit:
-            return rebrand_plan(cached, program), True
+            plan = rebrand_plan(cached, program)
+            # the key embeds the live topology fingerprint, so a hit proves
+            # the allocation state is content-identical to placement time;
+            # re-stamp the epoch so validation fast-paths on the live value
+            plan.epoch = self.topology.allocation_epoch()
+            return plan, True
         plan = self.placer.place(placement_request)
         self.cache.store(key, plan)
         return plan, False
 
     # ------------------------------------------------------------------ #
+    # removal (the reverse commit phase)
+    # ------------------------------------------------------------------ #
+    def remove(self, name: str, deployed: DeployedProgram,
+               lazy: bool = True) -> SynthesisDelta:
+        """Release *deployed* from every layer, atomically.
+
+        The removal order is synthesis → placement → emulator; a failure
+        mid-removal re-installs the already-released layers before
+        re-raising, so no resources are stranded without a record.  After a
+        successful removal, plan-cache entries stamped against the
+        pre-removal allocations of the devices the program occupied are
+        evicted (:meth:`ArtifactCache.prune_stale_plans`): the capacity they
+        assumed occupied is free again, so they can never validate against
+        the live topology.  Entries that never consulted those devices, or
+        whose stamps match the restored state, are retained.
+        """
+        delta = self.synthesizer.remove_program(name, lazy=lazy)
+        try:
+            self.placer.release(deployed.plan)
+        except Exception:
+            self.synthesizer.add_program(deployed.plan)
+            raise
+        try:
+            self.emulator.undeploy(name)
+        except Exception:
+            self.placer.commit(deployed.plan)
+            self.synthesizer.add_program(deployed.plan)
+            raise
+        self.cache.prune_stale_plans(
+            self.topology.device_fingerprints(),
+            devices=deployed.plan.devices_used(),
+        )
+        return delta
+
+    # ------------------------------------------------------------------ #
     # drivers
     # ------------------------------------------------------------------ #
+    def parallel_service(self, workers: int):
+        """The persistent process-pool compile service, created on demand.
+
+        The service (and its worker pool) survives across batches: workers
+        keep their forked topology snapshot and re-sync allocation changes
+        through the epoch-tagged fingerprint-delta protocol instead of being
+        re-forked per batch.  Asking for a different ``workers`` count
+        replaces the pool; :meth:`close` releases it deterministically.
+        """
+        from repro.core.parallel import ParallelCompileService
+
+        service = self._parallel
+        if service is not None and service.workers != max(1, int(workers)):
+            service.close()
+            service = None
+        if service is None:
+            service = ParallelCompileService(self, workers=workers)
+            self._parallel = service
+        return service
+
+    @property
+    def parallel(self):
+        """The live persistent compile service, or None before first use.
+
+        Public read access for observability (pool generation, batches
+        served) — the lifecycle stays with :meth:`parallel_service` and
+        :meth:`close`.
+        """
+        return self._parallel
+
+    def close(self) -> None:
+        """Release the persistent worker pool (idempotent)."""
+        if self._parallel is not None:
+            self._parallel.close()
+            self._parallel = None
+
     def run(self, request: DeployRequest) -> PipelineReport:
         """Deploy one request through all six stages.
 
@@ -578,50 +697,70 @@ class CompilationPipeline:
             deployed.report = report
         return reports
 
+    def commit_speculative_result(self, request: DeployRequest, result,
+                                  report: PipelineReport,
+                                  started: float) -> PipelineReport:
+        """Drive the commit phase for one speculative compile result.
+
+        *result* is a :class:`~repro.core.parallel.SpeculativeResult` from
+        the parallel compile phase.  This is the second half of the explicit
+        two-phase interface: the pure phase (``compile_batch``) can run
+        anywhere — worker processes, inline fallbacks, an asyncio service
+        wave — and this method serialises its outcome into the shared
+        topology, validating the speculative plan (or re-placing on
+        conflict) and filling in *report*.  Callers must invoke it
+        sequentially, in admission order.
+        """
+        report.stages = list(result.records)
+        # a placement failure against the worker's snapshot is advisory:
+        # the commit phase below re-places against the live topology
+        retryable = (result.failed_stage == "placement"
+                     and result.program is not None)
+        if result.error is not None and not retryable:
+            report.succeeded = False
+            report.error = result.error
+            report.failed_stage = result.failed_stage
+            report.total_s = time.perf_counter() - started
+            return report
+        program = result.program
+        report.program_name = program.name
+        try:
+            deployed = self.commit_stages(
+                program, request, report.stages,
+                speculative_plan=result.plan,
+                speculative_from_cache=getattr(result, "plan_from_cache",
+                                               False),
+            )
+        except Exception as exc:
+            report.succeeded = False
+            report.error = str(exc)
+            report.failed_stage = getattr(exc, "pipeline_stage", None)
+            report.total_s = time.perf_counter() - started
+            return report
+        report.total_s = time.perf_counter() - started
+        report.succeeded = True
+        report.deployed = deployed
+        deployed.deploy_time_s = report.total_s
+        deployed.report = report
+        return report
+
     def _run_many_speculative(self, requests: List[DeployRequest],
                               workers: int) -> List[PipelineReport]:
-        """Process-pool batch driver: parallel compile+place, serial commit."""
-        # imported lazily: parallel.py imports this module at top level
-        from repro.core.parallel import ParallelCompileService
+        """Process-pool batch driver: parallel compile+place, serial commit.
 
+        Uses the *persistent* :meth:`parallel_service` pool — the first
+        batch pays the fork, later batches re-sync the workers' topology
+        snapshots through the fingerprint-delta protocol.
+        """
         batch_start = time.perf_counter()
         reports = [
             PipelineReport(program_name=request.resolved_name())
             for request in requests
         ]
-        with ParallelCompileService(self, workers=workers) as service:
-            results = service.compile_batch(requests)
-
+        service = self.parallel_service(workers)
+        results = service.compile_batch(requests)
         for index, request in enumerate(requests):
-            report = reports[index]
-            result = results[index]
-            report.stages = list(result.records)
-            # a placement failure against the worker's snapshot is advisory:
-            # the commit phase below re-places against the live topology
-            retryable = (result.failed_stage == "placement"
-                         and result.program is not None)
-            if result.error is not None and not retryable:
-                report.succeeded = False
-                report.error = result.error
-                report.failed_stage = result.failed_stage
-                report.total_s = time.perf_counter() - batch_start
-                continue
-            program = result.program
-            report.program_name = program.name
-            try:
-                deployed = self.commit_stages(
-                    program, request, report.stages,
-                    speculative_plan=result.plan,
-                )
-            except Exception as exc:
-                report.succeeded = False
-                report.error = str(exc)
-                report.failed_stage = getattr(exc, "pipeline_stage", None)
-                report.total_s = time.perf_counter() - batch_start
-                continue
-            report.total_s = time.perf_counter() - batch_start
-            report.succeeded = True
-            report.deployed = deployed
-            deployed.deploy_time_s = report.total_s
-            deployed.report = report
+            self.commit_speculative_result(
+                request, results[index], reports[index], batch_start
+            )
         return reports

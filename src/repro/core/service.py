@@ -1,0 +1,333 @@
+"""The asyncio service runtime: ClickINC as an always-on service.
+
+The paper's pitch is in-network computing **as a service**: many tenants
+continuously submit, update and remove programs against one shared network.
+:class:`INCService` is that front-end — an asyncio API over the staged
+pipeline::
+
+    async with INCService(topology, workers=4) as svc:
+        report = await svc.submit(request)        # deploy
+        ...
+        await svc.remove(report.program_name)     # undeploy
+        await svc.drain()                         # quiesce
+
+Requests enter an **admission queue** and are drained by a single dispatcher
+task into *speculative compile waves*: each wave of contiguous submissions
+runs the pure compile + speculative placement phase on the pipeline's
+persistent process pool (:class:`~repro.core.parallel.ParallelCompileService`
+— forked once, re-synced per batch via epoch-tagged fingerprint deltas) and
+is then committed sequentially, in admission order, through the pipeline's
+explicit commit phase.
+
+``remove()`` is serialised through the same queue: a removal closes the wave
+being collected, runs only after every earlier submission committed, and
+blocks later submissions until the capacity it frees is released.  The
+resulting history — placements, failures, cache effects — is therefore
+identical to the equivalent serial schedule of the admitted operations, no
+matter how the callers interleave.
+
+Everything blocking (worker-pool waits, commits) runs on the event loop's
+default thread-pool executor, so the loop itself never stalls on a wave.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from functools import partial
+from typing import Dict, List, Optional
+
+from repro.core.controller import ClickINC
+from repro.core.pipeline import DeployRequest, PipelineReport
+from repro.exceptions import DeploymentError
+from repro.synthesis.incremental import SynthesisDelta
+from repro.topology.network import NetworkTopology
+
+__all__ = ["INCService"]
+
+
+@dataclass
+class _Admission:
+    """One queued operation: a submission or a removal."""
+
+    kind: str                     # "submit" | "remove"
+    future: "asyncio.Future"
+    request: Optional[DeployRequest] = None
+    name: Optional[str] = None
+    lazy: bool = True
+
+
+@dataclass
+class ServiceStats:
+    """Counters describing the service's batching behaviour.
+
+    Running aggregates only — an always-on service processes an unbounded
+    number of waves, so nothing here may grow with the wave count.
+    """
+
+    submitted: int = 0
+    removed: int = 0
+    waves: int = 0
+    max_wave: int = 0
+
+    def record_wave(self, size: int) -> None:
+        self.waves += 1
+        self.submitted += size
+        if size > self.max_wave:
+            self.max_wave = size
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "submitted": self.submitted,
+            "removed": self.removed,
+            "waves": self.waves,
+            "max_wave": self.max_wave,
+            "mean_wave": self.submitted / self.waves if self.waves else 0.0,
+        }
+
+
+class INCService:
+    """Long-lived asyncio front-end over a :class:`ClickINC` controller.
+
+    Parameters
+    ----------
+    controller_or_topology:
+        An existing :class:`ClickINC` controller to serve (shared pipeline,
+        cache and deployed-program registry), or a
+        :class:`~repro.topology.network.NetworkTopology` from which the
+        service builds — and then owns — a controller.
+    workers:
+        Process-pool width for the speculative compile waves (``1`` falls
+        back to the in-process thread path).
+    max_wave:
+        Upper bound on submissions batched into one compile wave.
+    max_pending:
+        Admission-queue capacity; beyond it, ``submit``/``remove`` apply
+        backpressure (the awaiting caller blocks until the queue drains).
+        ``0`` means unbounded.
+    coalesce_s:
+        How long the dispatcher waits for more submissions once the queue
+        momentarily empties mid-wave — a small window lets concurrent
+        producers fill a wave instead of compiling singletons.
+    """
+
+    def __init__(self, controller_or_topology, *, workers: int = 2,
+                 max_wave: int = 8, max_pending: int = 0,
+                 coalesce_s: float = 0.001, **controller_kwargs) -> None:
+        if isinstance(controller_or_topology, ClickINC):
+            if controller_kwargs:
+                raise DeploymentError(
+                    "controller keyword arguments are only valid when the "
+                    "service builds its own controller from a topology"
+                )
+            self.controller = controller_or_topology
+            self._owns_controller = False
+        elif isinstance(controller_or_topology, NetworkTopology):
+            self.controller = ClickINC(controller_or_topology,
+                                       **controller_kwargs)
+            self._owns_controller = True
+        else:
+            raise DeploymentError(
+                "INCService needs a ClickINC controller or a NetworkTopology"
+            )
+        self.workers = max(1, int(workers))
+        self.max_wave = max(1, int(max_wave))
+        self.max_pending = max(0, int(max_pending))
+        self.coalesce_s = max(0.0, float(coalesce_s))
+        self.stats = ServiceStats()
+        self._queue: Optional["asyncio.Queue[_Admission]"] = None
+        self._dispatcher: Optional["asyncio.Task"] = None
+        self._outstanding: set = set()
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    async def __aenter__(self) -> "INCService":
+        self._ensure_started()
+        return self
+
+    async def __aexit__(self, exc_type, exc_value, traceback) -> None:
+        await self.close()
+
+    def _ensure_started(self) -> None:
+        if self._closed:
+            raise DeploymentError("the INC service is closed")
+        if self._queue is None:
+            self._queue = asyncio.Queue(maxsize=self.max_pending)
+            self._dispatcher = asyncio.get_running_loop().create_task(
+                self._dispatch_loop()
+            )
+
+    async def drain(self) -> None:
+        """Wait until every operation admitted so far has completed."""
+        pending = [f for f in self._outstanding if not f.done()]
+        if pending:
+            await asyncio.gather(*pending, return_exceptions=True)
+
+    async def close(self, drain: bool = True) -> None:
+        """Stop the service: drain (by default), stop the dispatcher, and —
+        when the service owns its controller — release the worker pool.
+
+        Close is idempotent.  Operations already admitted always complete
+        (the stop sentinel queues behind them); ``drain=False`` merely skips
+        waiting on in-flight futures before enqueueing the sentinel.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self._queue is not None:
+            if drain:
+                await self.drain()
+            stop: "asyncio.Future" = asyncio.get_running_loop().create_future()
+            await self._queue.put(_Admission(kind="stop", future=stop))
+            await stop
+            self._dispatcher = None
+            self._queue = None
+        for future in list(self._outstanding):
+            if not future.done():
+                future.set_exception(
+                    DeploymentError("the INC service closed before this "
+                                    "operation was dispatched")
+                )
+        self._outstanding.clear()
+        if self._owns_controller:
+            self.controller.close()
+
+    # ------------------------------------------------------------------ #
+    # the service API
+    # ------------------------------------------------------------------ #
+    async def submit(self, request: DeployRequest) -> PipelineReport:
+        """Admit one deployment request; resolves once it has committed.
+
+        The returned :class:`PipelineReport` carries the outcome —
+        per-request failures (``succeeded=False``, ``error``,
+        ``failed_stage``) are reported, not raised, exactly as in
+        ``deploy_many``.
+        """
+        admission = self._admit(_Admission(
+            kind="submit",
+            future=asyncio.get_running_loop().create_future(),
+            request=request,
+        ))
+        await self._queue.put(admission)
+        return await admission.future
+
+    async def remove(self, name: str, lazy: bool = True) -> SynthesisDelta:
+        """Admit a removal; resolves once the resources are released.
+
+        The removal is serialised through the commit phase: it runs after
+        every submission admitted before it has committed, and before any
+        admitted after it — so racing ``submit``/``remove`` histories stay
+        identical to the equivalent serial schedule.  Removing an unknown
+        (or not-yet-committed, per admission order) program raises
+        :class:`DeploymentError`.
+        """
+        admission = self._admit(_Admission(
+            kind="remove",
+            future=asyncio.get_running_loop().create_future(),
+            name=name,
+            lazy=lazy,
+        ))
+        await self._queue.put(admission)
+        return await admission.future
+
+    def _admit(self, admission: _Admission) -> _Admission:
+        self._ensure_started()
+        self._outstanding.add(admission.future)
+        admission.future.add_done_callback(self._outstanding.discard)
+        return admission
+
+    def deployed_programs(self) -> List[str]:
+        return self.controller.deployed_programs()
+
+    def service_summary(self) -> Dict[str, object]:
+        """Batching counters plus the persistent pool's vitals."""
+        summary = self.stats.summary()
+        service = self.controller.pipeline.parallel
+        if service is not None:
+            summary["pool_generation"] = service.pool_generation
+            summary["batches_served"] = service.batches_served
+        return summary
+
+    # ------------------------------------------------------------------ #
+    # dispatcher
+    # ------------------------------------------------------------------ #
+    async def _dispatch_loop(self) -> None:
+        """Drain the admission queue into compile waves, forever.
+
+        Contiguous submissions coalesce into one wave (bounded by
+        ``max_wave``); a removal — or the stop sentinel — closes the wave
+        being collected and runs after it commits.
+        """
+        queue = self._queue
+        loop = asyncio.get_running_loop()
+        while True:
+            admission = await queue.get()
+            barrier: Optional[_Admission] = None
+            wave: List[_Admission] = []
+            if admission.kind == "submit":
+                wave.append(admission)
+                while len(wave) < self.max_wave:
+                    if queue.empty() and self.coalesce_s > 0.0:
+                        # momentary lull: give concurrent producers one
+                        # window to extend the wave before compiling it
+                        try:
+                            nxt = await asyncio.wait_for(
+                                queue.get(), timeout=self.coalesce_s
+                            )
+                        except asyncio.TimeoutError:
+                            break
+                    else:
+                        try:
+                            nxt = queue.get_nowait()
+                        except asyncio.QueueEmpty:
+                            break
+                    if nxt.kind == "submit":
+                        wave.append(nxt)
+                    else:
+                        barrier = nxt
+                        break
+            else:
+                barrier = admission
+
+            if wave:
+                await self._run_wave(loop, wave)
+            if barrier is not None:
+                if barrier.kind == "stop":
+                    barrier.future.set_result(None)
+                    return
+                await self._run_remove(loop, barrier)
+
+    async def _run_wave(self, loop, wave: List[_Admission]) -> None:
+        requests = [admission.request for admission in wave]
+        try:
+            reports = await loop.run_in_executor(
+                None,
+                partial(self.controller.deploy_many, requests,
+                        workers=self.workers),
+            )
+        except Exception as exc:  # defensive: deploy_many captures per-request
+            for admission in wave:
+                if not admission.future.done():
+                    admission.future.set_exception(exc)
+            return
+        self.stats.record_wave(len(wave))
+        for admission, report in zip(wave, reports):
+            if not admission.future.done():
+                admission.future.set_result(report)
+
+    async def _run_remove(self, loop, admission: _Admission) -> None:
+        try:
+            delta = await loop.run_in_executor(
+                None,
+                partial(self.controller.remove, admission.name,
+                        lazy=admission.lazy),
+            )
+        except Exception as exc:
+            if not admission.future.done():
+                admission.future.set_exception(exc)
+            return
+        self.stats.removed += 1
+        if not admission.future.done():
+            admission.future.set_result(delta)

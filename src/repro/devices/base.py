@@ -144,6 +144,11 @@ class Device:
         self.bandwidth_gbps = bandwidth_gbps
         self.processing_latency_ns = processing_latency_ns
         self.deployed_programs: Dict[str, List[int]] = {}
+        #: Monotonic counter bumped on every allocation change.  The topology
+        #: sums these into its allocation epoch, so "did anything change?"
+        #: is an integer comparison rather than a full re-hash.
+        self.alloc_version: int = 0
+        self._fingerprint_cache: tuple = (-1, "")
 
     # ------------------------------------------------------------------ #
     # capability checks
@@ -225,9 +230,11 @@ class Device:
 
     def allocate_stage(self, stage_index: int, demand: Dict[str, float]) -> None:
         self.stages[stage_index].allocate(demand)
+        self.alloc_version += 1
 
     def release_stage(self, stage_index: int, demand: Dict[str, float]) -> None:
         self.stages[stage_index].release(demand)
+        self.alloc_version += 1
 
     def allocation_fingerprint(self) -> str:
         """Stable hash of this device's current resource allocations.
@@ -236,15 +243,56 @@ class Device:
         device — per-stage usage and the set of deployed programs — so it
         changes exactly when a commit or release could alter a placement
         decision.  Speculative plans record it per consulted device and the
-        commit step revalidates it (optimistic concurrency control).
+        commit step revalidates it (optimistic concurrency control).  The
+        hash is memoised per :attr:`alloc_version`, so repeated fingerprint
+        sweeps between commits cost one integer comparison per device.
         """
+        version, cached = self._fingerprint_cache
+        if version == self.alloc_version:
+            return cached
+        # the placement search is name-blind — it reads resource availability
+        # and occupancy structure, never tenant names — so the fingerprint
+        # normalises names away: a state reached by *equivalent* programs
+        # under different tenant names hashes identically, which is what lets
+        # written-back plans hit again after a remove/re-submit cycle
         payload = [
-            sorted(self.deployed_programs),
+            sorted(sorted(blocks) for blocks in self.deployed_programs.values()),
             [sorted(stage.used.items()) for stage in self.stages],
         ]
         rendered = json.dumps(payload, sort_keys=True, separators=(",", ":"),
                               default=str)
-        return hashlib.sha256(rendered.encode("utf-8")).hexdigest()
+        fingerprint = hashlib.sha256(rendered.encode("utf-8")).hexdigest()
+        self._fingerprint_cache = (self.alloc_version, fingerprint)
+        return fingerprint
+
+    def allocation_state(self) -> Dict[str, object]:
+        """Picklable snapshot of the mutable allocation state.
+
+        This is the payload of the persistent worker pool's re-sync protocol:
+        instead of re-forking workers per batch, the parent ships the
+        allocation state of every device whose fingerprint drifted from the
+        worker snapshot and the workers apply it with
+        :meth:`set_allocation_state` (absolute state, so application is
+        idempotent).
+        """
+        return {
+            "used": [dict(stage.used) for stage in self.stages],
+            "deployed_programs": {
+                name: list(blocks)
+                for name, blocks in self.deployed_programs.items()
+            },
+        }
+
+    def set_allocation_state(self, state: Dict[str, object]) -> None:
+        """Overwrite the allocation state with a parent-process snapshot."""
+        for stage, used in zip(self.stages, state["used"]):
+            stage.used = {key: 0.0 for key in stage.capacities}
+            stage.used.update(used)
+        self.deployed_programs = {
+            name: list(blocks)
+            for name, blocks in state["deployed_programs"].items()
+        }
+        self.alloc_version += 1
 
     def snapshot(self) -> List[StageResources]:
         """Copy of per-stage resource usage, for rollback during search."""
@@ -252,12 +300,14 @@ class Device:
 
     def restore(self, snapshot: List[StageResources]) -> None:
         self.stages = [stage.copy() for stage in snapshot]
+        self.alloc_version += 1
 
     def reset(self) -> None:
         """Release every allocation on this device."""
         for stage in self.stages:
             stage.used = {key: 0.0 for key in stage.capacities}
         self.deployed_programs.clear()
+        self.alloc_version += 1
 
     # ------------------------------------------------------------------ #
     def __repr__(self) -> str:  # pragma: no cover

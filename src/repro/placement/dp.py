@@ -134,15 +134,22 @@ class DPPlacer:
             consulted.update(node.bypass)
         plan.device_fingerprints = self.topology.device_fingerprints(consulted)
         plan.topology_fingerprint = self.topology.allocation_fingerprint()
+        plan.epoch = self.topology.allocation_epoch()
 
     def validate(self, plan: PlacementPlan) -> List[str]:
         """Names of consulted devices whose allocations changed since *plan*.
 
         An empty list means the plan is still exactly the one a sequential
         placement against the live topology would produce, so it can be
-        committed as-is.  Plans without fingerprints (hand-built, or from
+        committed as-is.  An unchanged topology allocation epoch proves no
+        device changed at all, skipping the per-device fingerprint sweep
+        entirely; the fingerprints remain the fallback for plans placed
+        against an older epoch (e.g. earlier commits of the same wave, or a
+        worker snapshot).  Plans without fingerprints (hand-built, or from
         older cache entries) validate trivially.
         """
+        if plan.epoch is not None and plan.epoch == self.topology.allocation_epoch():
+            return []
         if plan.device_fingerprints:
             live = self.topology.device_fingerprints(plan.device_fingerprints)
             return sorted(
@@ -179,6 +186,8 @@ class DPPlacer:
                 device.deployed_programs.setdefault(plan.program_name, []).append(
                     assignment.block_id
                 )
+                # deployed_programs is part of the fingerprint payload
+                device.alloc_version += 1
 
     def release(self, plan: PlacementPlan) -> None:
         """Release a previously committed plan's resources."""
@@ -188,6 +197,7 @@ class DPPlacer:
                 for stage, demand in stage_assignment.stage_demands.items():
                     device.release_stage(stage, demand)
                 device.deployed_programs.pop(plan.program_name, None)
+                device.alloc_version += 1
 
     # ------------------------------------------------------------------ #
     # DP core

@@ -83,6 +83,7 @@ class GreedySinglePathPlacer:
         # the greedy search consulted exactly the devices of the chosen path
         plan.device_fingerprints = self.topology.device_fingerprints(path)
         plan.topology_fingerprint = self.topology.allocation_fingerprint()
+        plan.epoch = self.topology.allocation_epoch()
         if not plan.is_complete():
             raise PlacementError(
                 f"greedy single-path placement could not fit {program.name!r} "
@@ -139,4 +140,5 @@ class ReplicateAllPlacer:
             [device.name for device in devices]
         )
         plan.topology_fingerprint = self.topology.allocation_fingerprint()
+        plan.epoch = self.topology.allocation_epoch()
         return plan

@@ -57,6 +57,10 @@ class PlacementPlan:
     #: commit time the plan is provably the one a sequential placement under
     #: the live topology would produce; any mismatch is a conflict.
     device_fingerprints: Dict[str, str] = field(default_factory=dict)
+    #: Topology allocation epoch the plan was placed against.  An unchanged
+    #: epoch at commit time short-circuits validation (nothing can have
+    #: changed); a changed epoch falls back to the fingerprint comparison.
+    epoch: Optional[int] = None
 
     # ------------------------------------------------------------------ #
     # queries

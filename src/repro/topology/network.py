@@ -63,6 +63,7 @@ class NetworkTopology:
         self.pods: Dict[str, int] = {}
         self.host_groups: Dict[str, HostGroup] = {}
         self.bypass: Dict[str, str] = {}   # switch name -> attached accelerator name
+        self._fingerprint_cache: tuple = (-1, "")
 
     # ------------------------------------------------------------------ #
     # construction
@@ -206,17 +207,69 @@ class NetworkTopology:
         return {name: self.device(name).allocation_fingerprint()
                 for name in selected}
 
+    def allocation_epoch(self) -> int:
+        """Monotonic counter covering every device's allocation changes.
+
+        The epoch is the sum of the per-device allocation versions, so *any*
+        commit, release or reset advances it and two equal epochs imply no
+        device changed in between (within one process).  Speculative plans
+        are stamped with the epoch they were placed against: an unchanged
+        epoch lets the commit phase validate them with a single integer
+        comparison instead of a full fingerprint sweep.
+        """
+        return sum(device.alloc_version for device in self.devices.values())
+
     def allocation_fingerprint(self, names: Optional[Iterable[str]] = None
                                ) -> str:
         """Hash of the current allocations of *names* (default: all devices).
 
         Committing a plan changes it; releasing the same plan restores it, so
-        it addresses the mutable part of the world placement depends on.
+        it addresses the mutable part of the world placement depends on.  The
+        full-topology hash is memoised per :meth:`allocation_epoch`, so
+        placement-cache key construction between commits does not re-hash
+        every device.
         """
+        live_epoch = None
+        if names is None:
+            live_epoch = self.allocation_epoch()
+            cached_epoch, cached = self._fingerprint_cache
+            if cached_epoch == live_epoch:
+                return cached
         payload = "|".join(
             f"{name}:{fp}" for name, fp in self.device_fingerprints(names).items()
         )
-        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+        fingerprint = hashlib.sha256(payload.encode("utf-8")).hexdigest()
+        if names is None:
+            self._fingerprint_cache = (live_epoch, fingerprint)
+        return fingerprint
+
+    # ------------------------------------------------------------------ #
+    # snapshot re-sync (persistent worker pools)
+    # ------------------------------------------------------------------ #
+    def fingerprint_delta(self, base: Dict[str, str]) -> List[str]:
+        """Names of devices whose allocation fingerprint differs from *base*.
+
+        *base* is a ``device_fingerprints()`` snapshot taken when a worker
+        pool forked its topology copy; the delta names the devices the pool
+        must re-sync (via :meth:`allocation_states` /
+        :meth:`apply_allocation_states`) instead of being re-forked.
+        Devices unknown to *base* are included defensively.
+        """
+        return sorted(
+            name for name, device in self.devices.items()
+            if base.get(name) != device.allocation_fingerprint()
+        )
+
+    def allocation_states(self, names: Iterable[str]
+                          ) -> Dict[str, Dict[str, object]]:
+        """Picklable allocation state of *names*, for worker re-sync."""
+        return {name: self.device(name).allocation_state() for name in names}
+
+    def apply_allocation_states(self, states: Dict[str, Dict[str, object]]
+                                ) -> None:
+        """Overwrite named devices' allocations with a shipped snapshot."""
+        for name, state in states.items():
+            self.device(name).set_allocation_state(state)
 
     def reset_resources(self) -> None:
         """Release every allocation on every device (between experiments)."""

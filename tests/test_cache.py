@@ -140,3 +140,71 @@ class TestCompileKeys:
         assert base != source_compile_key("x = 1 + 3")
         assert base != source_compile_key("x = 1 + 2", constants={"n": 4})
         assert base != source_compile_key("x = 1 + 2", header_fields={"op": 8})
+
+
+class TestPlanCacheStaleness:
+    """Regression tests: remove() must not leave plan-cache entries stamped
+    against allocations that no longer exist (satellite of the service-
+    runtime refactor)."""
+
+    @staticmethod
+    def _request(user):
+        from repro.core import DeployRequest
+        return DeployRequest(
+            source_groups=["pod0(a)"], destination_group="pod0(b)",
+            name=f"kvs_{user}", profile=default_profile("KVS", user=user),
+        )
+
+    @staticmethod
+    def _plan_entries(cache):
+        return [key for key in cache._entries if key.startswith("plan:")]
+
+    def test_remove_evicts_entries_stamped_against_freed_capacity(self):
+        from repro.core import ClickINC
+        from repro.topology import build_fattree
+
+        inc = ClickINC(build_fattree(k=4))
+        inc.deploy_many([self._request("a")], workers=1)   # entry stamped: pod0 free
+        inc.deploy_many([self._request("b")], workers=1)   # entry stamped: a present
+        assert len(self._plan_entries(inc.cache)) == 2
+
+        inc.remove("kvs_b")
+        # live state == "a present": b's entry (stamped with it) survives,
+        # a's entry (stamped against the empty pod) is stale and evicted
+        remaining = self._plan_entries(inc.cache)
+        assert len(remaining) == 1
+        survivor = inc.cache._entries[remaining[0]]
+        live = inc.topology.device_fingerprints()
+        assert all(live[name] == fp
+                   for name, fp in survivor.device_fingerprints.items())
+
+    def test_warm_redeploy_after_remove_is_still_a_cache_hit(self):
+        from repro.core import ClickINC
+        from repro.topology import build_fattree
+
+        inc = ClickINC(build_fattree(k=4))
+        inc.deploy_many([self._request("a")], workers=1)
+        inc.remove("kvs_a")
+        # the removal restored the state a's entry was stamped against, so
+        # the entry is retained and the re-deploy hits warm
+        report = inc.deploy_many([self._request("a2")], workers=1)[0]
+        assert report.succeeded
+        assert report.stage("placement").cache_hit
+
+    def test_deploy_remove_cycles_do_not_accumulate_stale_entries(self):
+        from repro.core import ClickINC
+        from repro.topology import build_fattree
+
+        inc = ClickINC(build_fattree(k=4))
+        for cycle in range(4):
+            inc.deploy_many([self._request(f"u{cycle}")], workers=1)
+            inc.remove(f"kvs_u{cycle}")
+        # one reusable entry (the empty-pod placement), not one per cycle
+        assert len(self._plan_entries(inc.cache)) == 1
+
+    def test_prune_stale_plans_ignores_unstamped_values(self):
+        cache = ArtifactCache()
+        cache.store(cache.make_key("plan", "legacy"), object())
+        cache.store(cache.make_key("program", "x"), object())
+        assert cache.prune_stale_plans({}) == 0
+        assert len(cache) == 2

@@ -153,6 +153,7 @@ class TestParallelDeployMany:
         serial_reports = serial.deploy_many(disjoint_requests(), workers=1)
         parallel = ClickINC(build_fattree(k=4))
         reports = parallel.deploy_many(disjoint_requests(), workers=2)
+        parallel.close()
         assert all(r.succeeded for r in serial_reports)
         assert all(r.succeeded for r in reports)
         for ref, got in zip(serial_reports, reports):
@@ -165,6 +166,7 @@ class TestParallelDeployMany:
         serial_reports = serial.deploy_many(colliding_requests(), workers=1)
         parallel = ClickINC(build_fattree(k=4))
         reports = parallel.deploy_many(colliding_requests(), workers=2)
+        parallel.close()
         assert all(r.succeeded for r in reports)
         first, second = (r.stage("placement").detail for r in reports)
         assert first.get("speculative") is True
@@ -179,6 +181,7 @@ class TestParallelDeployMany:
         parallel = ClickINC(build_fattree(k=4))
         twins = [tenant_request(0, "t0"), tenant_request(1, "t1")]
         reports = parallel.deploy_many(twins, workers=2)
+        parallel.close()
         assert all(r.succeeded for r in reports)
         assert not reports[0].stage("frontend").cache_hit
         assert reports[1].stage("frontend").cache_hit
@@ -187,6 +190,7 @@ class TestParallelDeployMany:
         parallel = ClickINC(build_fattree(k=4))
         requests = [tenant_request(0, "dup"), tenant_request(1, "dup")]
         reports = parallel.deploy_many(requests, workers=2)
+        parallel.close()
         assert reports[0].succeeded
         assert not reports[1].succeeded
         assert reports[1].failed_stage == "validation"
@@ -199,6 +203,7 @@ class TestParallelDeployMany:
                             source="this is ( not a program")
         reports = parallel.deploy_many([bad, tenant_request(1, "ok")],
                                        workers=2)
+        parallel.close()
         assert not reports[0].succeeded
         assert reports[0].failed_stage == "frontend"
         assert reports[1].succeeded
@@ -213,9 +218,124 @@ class TestParallelDeployMany:
 
 
 # --------------------------------------------------------------------- #
+# the persistent pool: reuse across batches + snapshot re-sync
+# --------------------------------------------------------------------- #
+class TestPersistentPool:
+    def test_pool_survives_across_batches(self):
+        with ClickINC(build_fattree(k=4)) as controller:
+            controller.deploy_many([tenant_request(0, "b1")], workers=2)
+            service = controller.pipeline.parallel
+            assert service is not None
+            controller.deploy_many([tenant_request(1, "b2")], workers=2)
+            assert controller.pipeline.parallel is service
+            assert service.pool_generation == 1
+            assert service.batches_served == 2
+
+    def test_later_batch_speculates_against_resynced_snapshot(self):
+        """A second-batch tenant colliding with a first-batch commit must
+        still speculate cleanly: the worker snapshot is re-synced via the
+        fingerprint delta, so its plan is computed against the live
+        allocations rather than the stale fork-time state."""
+        with ClickINC(build_fattree(k=4)) as controller:
+            first = controller.deploy_many([tenant_request(0, "r1")],
+                                           workers=2)
+            assert first[0].stage("placement").detail.get("speculative")
+            second = controller.deploy_many([tenant_request(0, "r2")],
+                                            workers=2)
+            detail = second[0].stage("placement").detail
+            assert detail.get("speculative") is True
+            assert not detail.get("replaced_on_conflict")
+        # and it matches the serial schedule exactly
+        serial = ClickINC(build_fattree(k=4))
+        serial.deploy_many([tenant_request(0, "r1")], workers=1)
+        ref = serial.deploy_many([tenant_request(0, "r2")], workers=1)
+        assert (second[0].deployed.devices()
+                == ref[0].deployed.devices())
+
+    def test_resync_covers_removals(self):
+        """Capacity freed by remove() between batches must be visible to
+        the workers (the ever-dirty set keeps restored devices in the
+        payload), so a re-submission speculates to the serial placement."""
+        with ClickINC(build_fattree(k=4)) as controller:
+            controller.deploy_many(
+                [tenant_request(0, "a"), tenant_request(0, "b")], workers=2
+            )
+            controller.remove("kvs_a")
+            report = controller.deploy_many([tenant_request(0, "c")],
+                                            workers=2)[0]
+            assert report.succeeded
+        serial = ClickINC(build_fattree(k=4))
+        serial.deploy_many([tenant_request(0, "a")], workers=1)
+        serial.deploy_many([tenant_request(0, "b")], workers=1)
+        serial.remove("kvs_a")
+        ref = serial.deploy_many([tenant_request(0, "c")], workers=1)[0]
+        assert report.deployed.devices() == ref.deployed.devices()
+
+    def test_close_releases_pool_and_next_batch_recreates(self):
+        controller = ClickINC(build_fattree(k=4))
+        controller.deploy_many([tenant_request(0, "c1")], workers=2)
+        service = controller.pipeline.parallel
+        controller.close()
+        assert controller.pipeline.parallel is None
+        assert service._pool is None
+        # the controller stays usable: a later batch starts a fresh pool
+        reports = controller.deploy_many([tenant_request(1, "c2")], workers=2)
+        assert reports[0].succeeded
+        assert controller.pipeline.parallel is not service
+        controller.close()
+
+    def test_unclosed_pool_is_reaped_when_the_service_is_collected(self):
+        """Callers that never close() must not leak worker processes: a
+        finalizer shuts the executor down when the service is collected."""
+        import gc
+        import weakref
+
+        controller = ClickINC(build_fattree(k=4))
+        controller.deploy_many([tenant_request(0, "gc")], workers=2)
+        service = controller.pipeline.parallel
+        pool = service._pool
+        ref = weakref.ref(service)
+        del controller, service
+        gc.collect()
+        assert ref() is None
+        with pytest.raises(RuntimeError):  # shut down by the finalizer
+            pool.submit(int)
+
+    def test_changing_worker_count_replaces_the_pool(self):
+        with ClickINC(build_fattree(k=4)) as controller:
+            controller.deploy_many([tenant_request(0, "w1")], workers=2)
+            first = controller.pipeline.parallel
+            controller.deploy_many([tenant_request(1, "w2")], workers=3)
+            second = controller.pipeline.parallel
+            assert second is not first
+            assert second.workers == 3
+
+    def test_warm_cache_resubmission_skips_the_pool(self):
+        """After remove() restores a written-back plan's keyed state, the
+        re-submission is served from the shared caches (via='warm-cache')
+        and reported as a placement cache hit."""
+        with ClickINC(build_fattree(k=4)) as controller:
+            controller.deploy_many(
+                [tenant_request(pod, f"u{pod}") for pod in range(3)],
+                workers=2,
+            )
+            controller.remove("kvs_u2")
+            service = controller.pipeline.parallel
+            results = service.compile_batch([tenant_request(2, "u2b")])
+            assert results[0].via == "warm-cache"
+            assert results[0].plan is not None
+            assert results[0].plan_from_cache
+            report = controller.deploy_many([tenant_request(2, "u2c")],
+                                            workers=2)[0]
+            placement = report.stage("placement")
+            assert placement.cache_hit
+            assert placement.detail.get("speculative") is True
+
+
+# --------------------------------------------------------------------- #
 # fallbacks
 # --------------------------------------------------------------------- #
-def _crash_worker(index, request, precompiled):  # pragma: no cover - child
+def _crash_worker(index, request, precompiled, sync=None):  # pragma: no cover
     os._exit(13)
 
 
@@ -230,6 +350,7 @@ class TestFallbacks:
             pickle.dumps(request)
         controller = ClickINC(build_fattree(k=4))
         reports = controller.deploy_many([request], workers=2)
+        controller.close()
         assert reports[0].succeeded
         assert controller.deployed_programs() == ["kvs_np"]
 
@@ -250,6 +371,7 @@ class TestFallbacks:
         # the controller survives and the next batch deploys normally
         reports = controller.deploy_many([tenant_request(2, "after")],
                                          workers=2)
+        controller.close()
         assert reports[0].succeeded
 
     def test_worker_crash_with_failing_retry_is_per_request(self, monkeypatch):
@@ -264,6 +386,7 @@ class TestFallbacks:
                             source="this is ( not a program")
         reports = controller.deploy_many([bad, tenant_request(1, "ok")],
                                          workers=2)
+        controller.close()
         assert not reports[0].succeeded
         assert reports[0].failed_stage == "frontend"
         assert "worker" in reports[0].error and "crash" in reports[0].error

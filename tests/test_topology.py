@@ -61,6 +61,42 @@ class TestNetworkTopology:
         topo.reset_resources()
         assert topo.total_utilisation() == pytest.approx(0.0)
 
+    def test_allocation_epoch_advances_on_any_change(self):
+        topo = build_chain(2)
+        epoch = topo.allocation_epoch()
+        topo.device("SW0").allocate_stage(0, {"alu": 5.0})
+        after_alloc = topo.allocation_epoch()
+        assert after_alloc > epoch
+        topo.device("SW0").release_stage(0, {"alu": 5.0})
+        assert topo.allocation_epoch() > after_alloc  # monotonic, not content
+
+    def test_allocation_fingerprint_memo_tracks_mutations(self):
+        topo = build_chain(2)
+        baseline = topo.allocation_fingerprint()
+        assert topo.allocation_fingerprint() == baseline  # memoised
+        topo.device("SW0").allocate_stage(0, {"alu": 5.0})
+        changed = topo.allocation_fingerprint()
+        assert changed != baseline
+        topo.device("SW0").release_stage(0, {"alu": 5.0})
+        assert topo.allocation_fingerprint() == baseline  # content-addressed
+
+    def test_fingerprint_delta_and_state_sync_round_trip(self):
+        topo = build_chain(3)
+        base = topo.device_fingerprints()
+        assert topo.fingerprint_delta(base) == []
+        topo.device("SW1").allocate_stage(0, {"alu": 3.0})
+        topo.device("SW1").deployed_programs["p"] = [0]
+        topo.device("SW1").alloc_version += 1
+        assert topo.fingerprint_delta(base) == ["SW1"]
+        # ship the delta to a pristine replica (a worker snapshot)
+        replica = build_chain(3)
+        states = topo.allocation_states(topo.fingerprint_delta(base))
+        replica.apply_allocation_states(states)
+        assert replica.device_fingerprints() == topo.device_fingerprints()
+        # applying the same absolute state twice is idempotent
+        replica.apply_allocation_states(states)
+        assert replica.device_fingerprints() == topo.device_fingerprints()
+
 
 class TestBuilders:
     def test_fattree_counts(self):
