@@ -2,9 +2,10 @@
 """CI benchmark-regression gate for the compilation pipeline.
 
 Runs the cold-batch deployment benchmark
-(:mod:`benchmarks.bench_parallel_deploy`) and the async service-runtime
-benchmark (:mod:`benchmarks.bench_async_service`), writes the measurements
-to a ``BENCH_pipeline.json`` artifact, and exits non-zero when
+(:mod:`benchmarks.bench_parallel_deploy`), the async service-runtime
+benchmark (:mod:`benchmarks.bench_async_service`) and the failure-injection
+benchmark (:mod:`benchmarks.bench_runtime_migration`), writes the
+measurements to a ``BENCH_pipeline.json`` artifact, and exits non-zero when
 
 * cold-batch throughput regresses more than ``tolerance`` (default 30%)
   below the committed numbers in ``benchmarks/BENCH_baseline.json``,
@@ -14,7 +15,11 @@ to a ``BENCH_pipeline.json`` artifact, and exits non-zero when
 * the service's persistent pool re-forks between waves, a warm wave is not
   faster than the fork wave (``max_async_warm_wave_ratio``), re-submissions
   stop hitting the written-back plan cache, or interleaved submit/remove
-  traffic diverges from the serial schedule.
+  traffic diverges from the serial schedule,
+* a device failure stops migrating exactly the programs the dead device
+  hosted (or disturbs untouched tenants, or breaks post-recovery traffic),
+  recovery latency exceeds ``max_migration_recovery_s``, or an un-placeable
+  migration stops rolling back to the pre-failure committed state.
 
 Usage (from the repository root, with ``PYTHONPATH=src``)::
 
@@ -40,6 +45,9 @@ from benchmarks.bench_parallel_deploy import (  # noqa: E402
     run_all,
     usable_cores,
 )
+from benchmarks.bench_runtime_migration import (  # noqa: E402
+    run_all as run_runtime_migration,
+)
 
 DEFAULT_BASELINE = Path(__file__).resolve().parent / "BENCH_baseline.json"
 
@@ -51,6 +59,9 @@ def measure() -> dict:
     service = run_async_service()
     sustained = service["sustained"]
     interleaved = service["interleaved"]
+    migration = run_runtime_migration()
+    recovery = migration["recovery"]
+    rollback = migration["rollback"]
     return {
         "generated_unix_time": int(time.time()),
         "cores": usable_cores(),
@@ -70,6 +81,16 @@ def measure() -> dict:
         "async_resubmit_n": sustained["resubmit_n"],
         "async_sustained_rps": round(sustained["sustained_rps"], 3),
         "async_identical_placements": bool(interleaved["identical_placements"]),
+        "migration_affected": recovery["expected_affected"],
+        "migration_migrated": recovery["migrated"],
+        "migration_exact_set": bool(recovery["exact_affected_set"]),
+        "migration_untouched_identical": bool(recovery["untouched_identical"]),
+        "migration_traffic_complete": bool(recovery["traffic_complete"]),
+        "migration_victim_hits_after": recovery["victim_hits_after"],
+        "migration_recovery_s": round(recovery["recovery_s"], 4),
+        "migration_rollback_ok": bool(
+            rollback["rolled_back"] and rollback["restored_committed_state"]
+        ),
     }
 
 
@@ -129,6 +150,44 @@ def check(measured: dict, baseline: dict) -> list:
         failures.append(
             "interleaved async submit/remove traffic no longer matches the"
             " equivalent serial schedule"
+        )
+
+    # the runtime operations layer: failure -> migration -> recovery
+    if measured["migration_affected"] < 1:
+        failures.append(
+            "the failure-injection benchmark found no program on the victim"
+            " device — the scenario no longer exercises migration"
+        )
+    if not measured["migration_exact_set"]:
+        failures.append(
+            f"migration no longer moves exactly the affected programs"
+            f" ({measured['migration_migrated']} migrated,"
+            f" {measured['migration_affected']} affected)"
+        )
+    if not measured["migration_untouched_identical"]:
+        failures.append(
+            "migrating one device's programs disturbed untouched tenants'"
+            " plans or fingerprints"
+        )
+    if not measured["migration_traffic_complete"]:
+        failures.append(
+            "post-recovery traffic no longer completes for migrated tenants"
+        )
+    if measured["migration_victim_hits_after"] > 0:
+        failures.append(
+            f"{measured['migration_victim_hits_after']} packets still"
+            " traversed the failed device after recovery"
+        )
+    max_recovery = float(baseline.get("max_migration_recovery_s", 2.0))
+    if measured["migration_recovery_s"] > max_recovery:
+        failures.append(
+            f"failure recovery took {measured['migration_recovery_s']:.3f}s"
+            f" (must stay below {max_recovery:.1f}s)"
+        )
+    if not measured["migration_rollback_ok"]:
+        failures.append(
+            "an un-placeable migration no longer rolls back to the"
+            " pre-failure committed state"
         )
     return failures
 

@@ -77,6 +77,7 @@ class ClickINC:
             adaptive_weights=adaptive_weights,
         )
         self.deployed: Dict[str, DeployedProgram] = {}
+        self._runtime = None   # lazily-created RuntimeManager (see runtime())
 
     # ------------------------------------------------------------------ #
     # compile + deploy
@@ -171,6 +172,46 @@ class ClickINC:
                 self.deployed[report.program_name] = report.deployed
         return reports
 
+    def update_program(self, name: str,
+                       source: Optional[str] = None,
+                       profile: Optional[Profile] = None,
+                       program: Optional[IRProgram] = None,
+                       constants: Optional[Dict[str, object]] = None,
+                       header_fields: Optional[Dict[str, int]] = None,
+                       traffic_rates: Optional[Dict[str, float]] = None
+                       ) -> PipelineReport:
+        """Atomically swap a deployed program for a new version.
+
+        Exactly one of *source* / *profile* / *program* describes the new
+        version; routing (source groups, destination, traffic rates) is
+        inherited from the running deployment unless *traffic_rates*
+        overrides it.  The new version is compiled against a shadow
+        snapshot, then swapped in through the serial commit phase as one
+        wave barrier: concurrent ``deploy``/``remove`` callers serialised
+        through that phase observe either the old version or the new one,
+        never a half-updated network.  Compatible register/table state
+        carries across.  On any failure the old version is reinstalled
+        unchanged and the error re-raised.
+        """
+        deployed = self.deployed.get(name)
+        if deployed is None:
+            raise DeploymentError(f"program {name!r} is not deployed")
+        request = DeployRequest(
+            source_groups=list(deployed.source_groups),
+            destination_group=deployed.destination_group,
+            name=name,
+            source=source,
+            profile=profile,
+            program=program,
+            constants=constants,
+            header_fields=header_fields,
+            traffic_rates=traffic_rates if traffic_rates is not None
+            else deployed.traffic_rates,
+        )
+        report = self.pipeline.update(name, deployed, request)
+        self.deployed[name] = report.deployed
+        return report
+
     def remove(self, name: str, lazy: bool = True) -> SynthesisDelta:
         """Remove a deployed program, releasing its resources.
 
@@ -215,6 +256,29 @@ class ClickINC:
         from repro.core.service import INCService
 
         return INCService(self, workers=workers, max_wave=max_wave)
+
+    def runtime(self, auto_migrate: Optional[bool] = None):
+        """The :class:`~repro.runtime.manager.RuntimeManager` over this
+        controller (created on first use, then shared).
+
+        The manager owns a health monitor over the topology and reacts to
+        device failures/drains by live-migrating exactly the programs the
+        event affects; see :mod:`repro.runtime`.  *auto_migrate* configures
+        that reaction: ``None`` (the default) leaves the existing manager's
+        setting untouched (managers are created with it enabled), while an
+        explicit True/False applies to the shared manager even when it
+        already exists.
+        """
+        if getattr(self, "_runtime", None) is None:
+            from repro.runtime.manager import RuntimeManager
+
+            self._runtime = RuntimeManager(
+                self,
+                auto_migrate=True if auto_migrate is None else auto_migrate,
+            )
+        elif auto_migrate is not None:
+            self._runtime.auto_migrate = auto_migrate
+        return self._runtime
 
     # ------------------------------------------------------------------ #
     # runtime

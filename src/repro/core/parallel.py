@@ -249,9 +249,11 @@ class ParallelCompileService:
         #: sync payload so a worker holding an intermediate state is always
         #: re-synced, even when the live state drifts *back* to baseline
         self._ever_dirty: Set[str] = set()
-        #: observability: batches served and pools created over the lifetime
+        #: observability: batches served, pools created, and requests that
+        #: fell back to the in-process compile path over the lifetime
         self.batches_served = 0
         self.pool_generation = 0
+        self.inline_fallbacks = 0
         if self.workers > 1:
             self._start_pool()
 
@@ -505,6 +507,7 @@ class ParallelCompileService:
 
     def _compile_inline(self, index: int, request: DeployRequest) -> SpeculativeResult:
         """In-process fallback: pure compile only, placement at commit time."""
+        self.inline_fallbacks += 1
         try:
             program, records = self.pipeline.compile_stages(request)
         except Exception as exc:

@@ -127,6 +127,9 @@ class DeployedProgram:
     device_sources: Dict[str, str] = field(default_factory=dict)
     deploy_time_s: float = 0.0
     report: Optional["PipelineReport"] = None
+    #: The request's per-source traffic rates, retained so the runtime layer
+    #: can re-place the program with identical parameters after a failure.
+    traffic_rates: Optional[Dict[str, float]] = None
 
     def devices(self) -> List[str]:
         return self.plan.devices_used()
@@ -501,6 +504,8 @@ class CompilationPipeline:
             source_groups=list(request.source_groups),
             destination_group=request.destination_group,
             device_sources=device_sources,
+            traffic_rates=dict(request.traffic_rates)
+            if request.traffic_rates else None,
         )
 
     def _place_cached(self, placement_request: PlacementRequest
@@ -560,6 +565,73 @@ class CompilationPipeline:
             devices=deployed.plan.devices_used(),
         )
         return delta
+
+    # ------------------------------------------------------------------ #
+    # runtime operations (migration rollback, rolling updates)
+    # ------------------------------------------------------------------ #
+    def reinstall(self, deployed: DeployedProgram) -> None:
+        """Re-commit a previously removed program's exact plan.
+
+        The reverse of :meth:`remove`: placement resources, the synthesised
+        executables and the emulator installs are restored unchanged, with
+        no placement search and no validation — the caller asserts the plan
+        is the state to return to (migration rollback, failed update).  A
+        failure mid-reinstall unwinds the layers already restored before
+        re-raising, so the operation is atomic either way.
+        """
+        plan = deployed.plan
+        self.placer.commit(plan)
+        try:
+            self.synthesizer.add_program(plan)
+        except Exception:
+            self.placer.release(plan)
+            raise
+        try:
+            self.emulator.deploy(plan, deployed.source_groups,
+                                 deployed.destination_group)
+        except Exception:
+            self.synthesizer.rollback_add(plan.program_name)
+            self.placer.release(plan)
+            raise
+
+    def update(self, name: str, deployed: DeployedProgram,
+               request: DeployRequest) -> PipelineReport:
+        """Swap *deployed* for the new version described by *request*.
+
+        The new version is compiled against a shadow snapshot first (the
+        pure stages read nothing but the request and the artifact cache),
+        so the shared network is untouched until the swap itself: the old
+        version is removed and the new one committed back-to-back through
+        the serial commit phase — one wave barrier, so callers serialised
+        through it (``run_many`` batches, the asyncio service) never
+        observe a half-updated network.  Compatible register/table state is
+        carried across the swap.  If the new version cannot be placed or
+        installed, the old version is reinstalled unchanged and the error
+        re-raised — the update either fully happens or leaves no trace.
+        """
+        start = time.perf_counter()
+        report = PipelineReport(program_name=name)
+        program, records = self.compile_stages(request)
+        if program.name != name:
+            program = program.rebrand(name)
+        report.stages = records
+        snapshot = self.emulator.snapshot_owner_state(name)
+        self.remove(name, deployed)
+        try:
+            new_deployed = self.commit_stages(program, request, records)
+        except Exception as exc:
+            self.reinstall(deployed)
+            self.emulator.restore_owner_state(name, snapshot)
+            setattr(exc, "pipeline_stage",
+                    getattr(exc, "pipeline_stage", "update"))
+            raise
+        self.emulator.restore_owner_state(name, snapshot)
+        report.total_s = time.perf_counter() - start
+        report.succeeded = True
+        report.deployed = new_deployed
+        new_deployed.deploy_time_s = report.total_s
+        new_deployed.report = report
+        return report
 
     # ------------------------------------------------------------------ #
     # drivers

@@ -48,13 +48,20 @@ __all__ = ["INCService"]
 
 @dataclass
 class _Admission:
-    """One queued operation: a submission or a removal."""
+    """One queued operation: a submission or a barrier.
 
-    kind: str                     # "submit" | "remove"
+    Barriers (``remove``, ``update``, ``fail-device``, ``drain-device``,
+    ``stop``) close the wave being collected and run alone, after every
+    earlier admission committed — so their effects are atomic with respect
+    to concurrently admitted submissions.
+    """
+
+    kind: str                     # "submit" | "remove" | "update" | ...
     future: "asyncio.Future"
     request: Optional[DeployRequest] = None
     name: Optional[str] = None
     lazy: bool = True
+    payload: Optional[Dict[str, object]] = None
 
 
 @dataclass
@@ -69,12 +76,20 @@ class ServiceStats:
     removed: int = 0
     waves: int = 0
     max_wave: int = 0
+    #: waves in which at least one request failed to deploy
+    failed_waves: int = 0
+    #: rolling updates swapped through the barrier path
+    updates: int = 0
+    #: programs live-migrated by fail/drain barriers
+    migrations: int = 0
 
-    def record_wave(self, size: int) -> None:
+    def record_wave(self, size: int, failures: int = 0) -> None:
         self.waves += 1
         self.submitted += size
         if size > self.max_wave:
             self.max_wave = size
+        if failures:
+            self.failed_waves += 1
 
     def summary(self) -> Dict[str, object]:
         return {
@@ -83,6 +98,9 @@ class ServiceStats:
             "waves": self.waves,
             "max_wave": self.max_wave,
             "mean_wave": self.submitted / self.waves if self.waves else 0.0,
+            "failed_waves": self.failed_waves,
+            "updates": self.updates,
+            "migrations": self.migrations,
         }
 
 
@@ -232,6 +250,54 @@ class INCService:
         await self._queue.put(admission)
         return await admission.future
 
+    async def update(self, name: str, **kwargs) -> PipelineReport:
+        """Admit a rolling program update; resolves once the swap committed.
+
+        Keyword arguments are those of :meth:`ClickINC.update_program
+        <repro.core.controller.ClickINC.update_program>` (``source`` /
+        ``profile`` / ``program`` plus compile options).  The update is a
+        wave barrier: it runs after every submission admitted before it has
+        committed and before anything admitted after it, so concurrent
+        ``submit``/``remove`` callers observe either the old version or the
+        new one — never an interleaving.
+        """
+        admission = self._admit(_Admission(
+            kind="update",
+            future=asyncio.get_running_loop().create_future(),
+            name=name,
+            payload=dict(kwargs),
+        ))
+        await self._queue.put(admission)
+        return await admission.future
+
+    async def fail_device(self, name: str):
+        """Admit a device failure; resolves with the migration report.
+
+        Runs as a wave barrier through the controller's
+        :class:`~repro.runtime.manager.RuntimeManager`: the device is marked
+        down and every program whose committed plan occupied it is
+        live-migrated (or everything rolls back if one cannot be re-placed).
+        """
+        admission = self._admit(_Admission(
+            kind="fail-device",
+            future=asyncio.get_running_loop().create_future(),
+            name=name,
+        ))
+        await self._queue.put(admission)
+        return await admission.future
+
+    async def drain_device(self, name: str):
+        """Admit a maintenance drain; like :meth:`fail_device` but the
+        drained device's register/table state is carried to the new
+        placement."""
+        admission = self._admit(_Admission(
+            kind="drain-device",
+            future=asyncio.get_running_loop().create_future(),
+            name=name,
+        ))
+        await self._queue.put(admission)
+        return await admission.future
+
     def _admit(self, admission: _Admission) -> _Admission:
         self._ensure_started()
         self._outstanding.add(admission.future)
@@ -242,12 +308,16 @@ class INCService:
         return self.controller.deployed_programs()
 
     def service_summary(self) -> Dict[str, object]:
-        """Batching counters plus the persistent pool's vitals."""
+        """Batching counters, pool vitals, and runtime-layer activity."""
         summary = self.stats.summary()
         service = self.controller.pipeline.parallel
         if service is not None:
             summary["pool_generation"] = service.pool_generation
             summary["batches_served"] = service.batches_served
+            summary["inline_fallbacks"] = service.inline_fallbacks
+        runtime = getattr(self.controller, "_runtime", None)
+        if runtime is not None:
+            summary["runtime"] = runtime.runtime_summary()
         return summary
 
     # ------------------------------------------------------------------ #
@@ -297,7 +367,7 @@ class INCService:
                 if barrier.kind == "stop":
                     barrier.future.set_result(None)
                     return
-                await self._run_remove(loop, barrier)
+                await self._run_barrier(loop, barrier)
 
     async def _run_wave(self, loop, wave: List[_Admission]) -> None:
         requests = [admission.request for admission in wave]
@@ -312,22 +382,54 @@ class INCService:
                 if not admission.future.done():
                     admission.future.set_exception(exc)
             return
-        self.stats.record_wave(len(wave))
+        self.stats.record_wave(
+            len(wave),
+            failures=sum(1 for report in reports if not report.succeeded),
+        )
         for admission, report in zip(wave, reports):
             if not admission.future.done():
                 admission.future.set_result(report)
 
-    async def _run_remove(self, loop, admission: _Admission) -> None:
+    async def _run_barrier(self, loop, admission: _Admission) -> None:
+        """Run one barrier operation (remove/update/fail/drain) serially."""
         try:
-            delta = await loop.run_in_executor(
-                None,
-                partial(self.controller.remove, admission.name,
-                        lazy=admission.lazy),
-            )
+            if admission.kind == "remove":
+                result = await loop.run_in_executor(
+                    None,
+                    partial(self.controller.remove, admission.name,
+                            lazy=admission.lazy),
+                )
+                self.stats.removed += 1
+            elif admission.kind == "update":
+                # routed through the runtime manager so its update counters
+                # stay consistent with the fail/drain accounting
+                result = await loop.run_in_executor(
+                    None,
+                    partial(self.controller.runtime().update_program,
+                            admission.name, **(admission.payload or {})),
+                )
+                self.stats.updates += 1
+            elif admission.kind == "fail-device":
+                result = await loop.run_in_executor(
+                    None,
+                    partial(self.controller.runtime().fail_device,
+                            admission.name),
+                )
+                self.stats.migrations += len(result.migrated)
+            elif admission.kind == "drain-device":
+                result = await loop.run_in_executor(
+                    None,
+                    partial(self.controller.runtime().drain_device,
+                            admission.name),
+                )
+                self.stats.migrations += len(result.migrated)
+            else:  # pragma: no cover - defensive
+                raise DeploymentError(
+                    f"unknown admission kind {admission.kind!r}"
+                )
         except Exception as exc:
             if not admission.future.done():
                 admission.future.set_exception(exc)
             return
-        self.stats.removed += 1
         if not admission.future.done():
-            admission.future.set_result(delta)
+            admission.future.set_result(result)

@@ -144,6 +144,16 @@ class Device:
         self.bandwidth_gbps = bandwidth_gbps
         self.processing_latency_ns = processing_latency_ns
         self.deployed_programs: Dict[str, List[int]] = {}
+        #: Operational status: ``"up"`` (serving), ``"drain"`` (administratively
+        #: excluded from forwarding and placement, state still readable) or
+        #: ``"down"`` (failed; forwarding, placement and state all lost).
+        self.status: str = "up"
+        #: Counter bumped by the topology when the device's *surroundings*
+        #: change (an adjacent link fails, flaps or is removed).  It is part
+        #: of the allocation fingerprint, so plans placed before the change
+        #: stop validating even though the device's own allocations are
+        #: untouched.
+        self.topology_version: int = 0
         #: Monotonic counter bumped on every allocation change.  The topology
         #: sums these into its allocation epoch, so "did anything change?"
         #: is an integer comparison rather than a full re-hash.
@@ -258,6 +268,8 @@ class Device:
         payload = [
             sorted(sorted(blocks) for blocks in self.deployed_programs.values()),
             [sorted(stage.used.items()) for stage in self.stages],
+            self.status,
+            self.topology_version,
         ]
         rendered = json.dumps(payload, sort_keys=True, separators=(",", ":"),
                               default=str)
@@ -281,6 +293,8 @@ class Device:
                 name: list(blocks)
                 for name, blocks in self.deployed_programs.items()
             },
+            "status": self.status,
+            "topology_version": self.topology_version,
         }
 
     def set_allocation_state(self, state: Dict[str, object]) -> None:
@@ -292,6 +306,36 @@ class Device:
             name: list(blocks)
             for name, blocks in state["deployed_programs"].items()
         }
+        self.status = state.get("status", "up")
+        self.topology_version = int(state.get("topology_version", 0))
+        self.alloc_version += 1
+
+    # ------------------------------------------------------------------ #
+    # operational status
+    # ------------------------------------------------------------------ #
+    def is_available(self) -> bool:
+        """True when the device may forward traffic and host placements."""
+        return self.status == "up"
+
+    def set_status(self, status: str) -> bool:
+        """Change the operational status; returns True if it changed.
+
+        A status flip bumps :attr:`alloc_version` (it is part of the
+        fingerprint payload), so plans placed against the old status stop
+        validating and cached placements keyed on the old topology
+        fingerprint can no longer hit.
+        """
+        if status not in ("up", "drain", "down"):
+            raise ValueError(f"unknown device status {status!r}")
+        if status == self.status:
+            return False
+        self.status = status
+        self.alloc_version += 1
+        return True
+
+    def bump_topology_version(self) -> None:
+        """Record an adjacent structural change (link failure/removal)."""
+        self.topology_version += 1
         self.alloc_version += 1
 
     def snapshot(self) -> List[StageResources]:

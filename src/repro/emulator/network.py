@@ -41,6 +41,20 @@ class NetworkEmulator:
         }
         self.deployments: Dict[str, DeploymentContext] = {}
         self._next_user_id = 1
+        #: Run observers: callables invoked with the :class:`RunMetrics` of
+        #: every completed :meth:`run` — the hook a
+        #: :class:`~repro.runtime.health.HealthMonitor` uses to surface
+        #: per-device overload without the emulator knowing about it.
+        self.observers: List = []
+
+    def add_observer(self, callback) -> None:
+        """Register a callable invoked with each :meth:`run`'s metrics."""
+        if callback not in self.observers:
+            self.observers.append(callback)
+
+    def remove_observer(self, callback) -> None:
+        if callback in self.observers:
+            self.observers.remove(callback)
 
     # ------------------------------------------------------------------ #
     # deployment
@@ -102,6 +116,8 @@ class NetworkEmulator:
         metrics = RunMetrics()
         for packet in packets:
             self._route_packet(packet, metrics, link_latency_ns, end_host_latency_ns)
+        for observer in list(self.observers):
+            observer(metrics)
         return metrics
 
     def _route_packet(self, packet: Packet, metrics: RunMetrics,
@@ -196,6 +212,75 @@ class NetworkEmulator:
         return path
 
     # ------------------------------------------------------------------ #
+    # state carry (live migration)
+    # ------------------------------------------------------------------ #
+    def snapshot_owner_state(self, owner: str,
+                             skip_devices: Sequence[str] = ()
+                             ) -> Dict[str, Dict[str, Dict]]:
+        """Collect *owner*'s persistent state across its device runtimes.
+
+        Returns ``state_name -> {"registers": {...}, "tables": {...}}``,
+        merged across the devices hosting the owner's snippets (first
+        writer wins on key collisions between replicated shards; partial
+        per-path state is a property of the application, not of the
+        emulator).  Devices in *skip_devices* — e.g. a failed switch whose
+        memory is gone — contribute nothing.  The snapshot is what a live
+        migration carries to the runtimes the re-placed plan lands on.
+        """
+        context = self.deployments.get(owner)
+        if context is None:
+            raise EmulationError(f"program {owner!r} is not deployed")
+        skip = set(skip_devices)
+        snippets = context.plan.device_snippets()
+        snapshot: Dict[str, Dict[str, Dict]] = {}
+        for device_name in context.plan.devices_used():
+            if device_name in skip:
+                continue
+            runtime = self.runtimes.get(device_name)
+            snippet = snippets.get(device_name)
+            if runtime is None or snippet is None:
+                continue
+            for state_name in snippet.states:
+                entry = snapshot.setdefault(
+                    state_name, {"registers": {}, "tables": {}}
+                )
+                for key, value in runtime.state.registers.get(
+                        state_name, {}).items():
+                    entry["registers"].setdefault(key, value)
+                for key, value in runtime.state.tables.get(
+                        state_name, {}).items():
+                    entry["tables"].setdefault(key, value)
+        return snapshot
+
+    def restore_owner_state(self, owner: str,
+                            snapshot: Dict[str, Dict[str, Dict]]) -> None:
+        """Write a :meth:`snapshot_owner_state` back into *owner*'s runtimes.
+
+        Every device hosting one of the owner's snippets receives the
+        snapshot entries for the states that snippet declares; states the
+        new program version no longer declares are silently dropped, so the
+        same call serves migrations and rolling updates.
+        """
+        context = self.deployments.get(owner)
+        if context is None:
+            raise EmulationError(f"program {owner!r} is not deployed")
+        snippets = context.plan.device_snippets()
+        for device_name, snippet in snippets.items():
+            runtime = self.runtimes.get(device_name)
+            if runtime is None:
+                continue
+            for state_name in snippet.states:
+                entry = snapshot.get(state_name)
+                if entry is None:
+                    continue
+                if entry["registers"]:
+                    runtime.state.registers.setdefault(
+                        state_name, {}).update(entry["registers"])
+                if entry["tables"]:
+                    runtime.state.tables.setdefault(
+                        state_name, {}).update(entry["tables"])
+
+    # ------------------------------------------------------------------ #
     # inspection helpers
     # ------------------------------------------------------------------ #
     def runtime(self, device_name: str) -> DeviceRuntime:
@@ -211,12 +296,20 @@ class NetworkEmulator:
         return dict(runtime.state.registers.get(state_name, {}))
 
     def reset_state(self) -> None:
+        """Wipe every runtime's persistent state, keeping registered installs.
+
+        Snippets of registered deployments are re-installed with fresh
+        (empty) state; snippets without a deployment context — the residue
+        of a partial deploy that was never committed — are scrubbed rather
+        than left behind with their state declarations gone.
+        """
         for runtime in self.runtimes.values():
             owners = list(runtime.installed_owners())
             runtime.state = type(runtime.state)()
             for owner in owners:
                 context = self.deployments.get(owner)
                 if context is None:
+                    runtime.remove_snippet(owner)
                     continue
                 snippets = context.plan.device_snippets()
                 snippet = snippets.get(runtime.device.name)

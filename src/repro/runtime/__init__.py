@@ -1,0 +1,23 @@
+"""Runtime operations: health monitoring, live migration, rolling updates.
+
+This package is the layer that keeps deployments running while the network
+changes underneath them (the paper's runtime-management story):
+
+* :mod:`repro.runtime.events` — typed :class:`TopologyEvent`\\ s;
+* :mod:`repro.runtime.health` — the :class:`HealthMonitor` that turns
+  device/link status changes and emulator overload into events;
+* :mod:`repro.runtime.manager` — the :class:`RuntimeManager` that migrates
+  affected programs on failure/drain and swaps program versions atomically.
+"""
+
+from repro.runtime.events import TopologyEvent
+from repro.runtime.health import HealthMonitor
+from repro.runtime.manager import MigrationReport, RuntimeManager, RuntimeStats
+
+__all__ = [
+    "TopologyEvent",
+    "HealthMonitor",
+    "RuntimeManager",
+    "MigrationReport",
+    "RuntimeStats",
+]

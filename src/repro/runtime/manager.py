@@ -1,0 +1,410 @@
+"""Runtime operations: failure handling, live migration, rolling updates.
+
+The :class:`RuntimeManager` is the acting half of the runtime layer.  It
+sits on top of a :class:`~repro.core.controller.ClickINC` controller and
+makes committed deployments survive change:
+
+* **failures and drains** — :meth:`fail_device` / :meth:`drain_device` flip
+  the device's status (bumping the allocation epoch, so stale speculative
+  plans and cache entries stop validating) and live-migrate exactly the
+  programs whose committed plans occupy the device, found through a
+  per-device owner index.  Untouched tenants keep their plans, allocations
+  and emulator installs byte-for-byte.
+* **live migration** — affected programs are removed and re-placed one at a
+  time through the pipeline's speculative place/validate/commit machinery
+  against the surviving topology, so a migration interleaves with ordinary
+  deploys exactly like the equivalent serial schedule.  Register and table
+  state is snapshotted from the old runtimes (skipping a failed device,
+  whose memory is gone) and restored into the new ones.  If any affected
+  program cannot be re-placed, everything is rolled back to the pre-failure
+  committed state: re-placed programs are removed again and every original
+  plan is re-committed unchanged.
+* **rolling updates** — :meth:`update_program` compiles a new program
+  version against a shadow snapshot (the pure compile stages touch no
+  shared state), then swaps old for new through the serial commit phase as
+  one atomic wave barrier, carrying compatible state across; a failed swap
+  reinstalls the old version.
+
+The manager subscribes to a :class:`~repro.runtime.health.HealthMonitor`,
+so status changes made directly on the topology (and discovered by
+``poll()``) trigger the same migrations as the explicit methods.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.pipeline import DeployRequest
+from repro.exceptions import DeploymentError
+from repro.runtime.events import (
+    DEVICE_DOWN,
+    DEVICE_DRAIN,
+    DEVICE_OVERLOAD,
+    DEVICE_UP,
+    LINK_DOWN,
+    TopologyEvent,
+)
+from repro.runtime.health import HealthMonitor
+
+__all__ = ["RuntimeManager", "MigrationReport", "RuntimeStats"]
+
+
+@dataclass
+class MigrationReport:
+    """Outcome of one migration wave (one failure/drain/link event)."""
+
+    trigger: str                       # event kind or explicit reason
+    subject: str                       # device name or link pair
+    affected: List[str] = field(default_factory=list)
+    migrated: List[str] = field(default_factory=list)
+    rolled_back: bool = False
+    error: Optional[str] = None
+    duration_s: float = 0.0
+    #: owner -> devices before / after, for observability
+    old_devices: Dict[str, List[str]] = field(default_factory=dict)
+    new_devices: Dict[str, List[str]] = field(default_factory=dict)
+
+    @property
+    def succeeded(self) -> bool:
+        return not self.rolled_back and self.error is None
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "trigger": self.trigger,
+            "subject": self.subject,
+            "affected": list(self.affected),
+            "migrated": list(self.migrated),
+            "rolled_back": self.rolled_back,
+            "error": self.error,
+            "duration_s": round(self.duration_s, 4),
+        }
+
+
+@dataclass
+class RuntimeStats:
+    """Running counters of the runtime layer's activity."""
+
+    migrations: int = 0
+    migrated_programs: int = 0
+    rollbacks: int = 0
+    updates: int = 0
+    failed_updates: int = 0
+    overload_events: int = 0
+
+    def summary(self) -> Dict[str, int]:
+        return {
+            "migrations": self.migrations,
+            "migrated_programs": self.migrated_programs,
+            "rollbacks": self.rollbacks,
+            "updates": self.updates,
+            "failed_updates": self.failed_updates,
+            "overload_events": self.overload_events,
+        }
+
+
+class RuntimeManager:
+    """Keeps a controller's deployments running as the network changes.
+
+    Parameters
+    ----------
+    controller:
+        The :class:`~repro.core.controller.ClickINC` whose deployments this
+        manager maintains.
+    monitor:
+        An optional existing :class:`HealthMonitor`; by default the manager
+        builds one over the controller's topology.
+    auto_migrate:
+        React to ``device-down`` / ``device-drain`` events discovered by
+        ``monitor.poll()`` by migrating automatically.  The explicit
+        :meth:`fail_device` / :meth:`drain_device` methods always migrate.
+    """
+
+    def __init__(self, controller, monitor: Optional[HealthMonitor] = None,
+                 auto_migrate: bool = True) -> None:
+        self.controller = controller
+        self.monitor = monitor or HealthMonitor(controller.topology)
+        self.auto_migrate = auto_migrate
+        self.stats = RuntimeStats()
+        #: recent migration reports; bounded — an always-on service handles
+        #: an unbounded number of events, aggregates live in ``stats``
+        self.migration_log: "deque[MigrationReport]" = deque(maxlen=64)
+        #: reentrancy guard: explicit fail/drain calls emit their event and
+        #: then migrate themselves — _on_event must not react to those
+        self._in_explicit_op = False
+        self.monitor.subscribe(self._on_event)
+
+    # ------------------------------------------------------------------ #
+    # owner indexing
+    # ------------------------------------------------------------------ #
+    def owner_index(self) -> Dict[str, List[str]]:
+        """Reverse index ``device -> owners`` over committed plans."""
+        index: Dict[str, List[str]] = {}
+        for name in self.controller.deployed_programs():
+            for device in self.controller.deployed[name].devices():
+                index.setdefault(device, []).append(name)
+        return index
+
+    def owners_on_device(self, device_name: str) -> List[str]:
+        """Programs whose committed plan occupies *device_name*."""
+        return sorted(self.owner_index().get(device_name, []))
+
+    def owners_on_link(self, a: str, b: str) -> List[str]:
+        """Programs whose committed plan occupies both link endpoints.
+
+        A program using both endpoints may depend on the direct hop between
+        them, so a link failure conservatively re-places all of them; the
+        re-placement simply reproduces the old plan when the program never
+        relied on the failed hop.
+        """
+        index = self.owner_index()
+        return sorted(set(index.get(a, [])) & set(index.get(b, [])))
+
+    # ------------------------------------------------------------------ #
+    # explicit operations
+    # ------------------------------------------------------------------ #
+    def fail_device(self, name: str) -> MigrationReport:
+        """Mark *name* failed and migrate every program it hosted.
+
+        The device's runtime memory is treated as lost: migrated programs
+        carry only the state held on their surviving devices.
+        """
+        self.controller.topology.set_device_status(name, "down")
+        self.monitor.refresh()
+        self._emit_explicit(TopologyEvent(
+            kind=DEVICE_DOWN, device=name,
+            epoch=self.controller.topology.allocation_epoch(),
+        ))
+        return self.migrate_device(name, trigger=DEVICE_DOWN, state_lost=True)
+
+    def drain_device(self, name: str) -> MigrationReport:
+        """Drain *name* for maintenance: migrate its programs, keep state.
+
+        Unlike a failure, the drained device is still reachable, so the
+        migration carries its register/table state to the new placement.
+        """
+        self.controller.topology.set_device_status(name, "drain")
+        self.monitor.refresh()
+        self._emit_explicit(TopologyEvent(
+            kind=DEVICE_DRAIN, device=name,
+            epoch=self.controller.topology.allocation_epoch(),
+        ))
+        return self.migrate_device(name, trigger=DEVICE_DRAIN,
+                                   state_lost=False)
+
+    def restore_device(self, name: str) -> bool:
+        """Bring a failed/drained device back into service.
+
+        Existing deployments stay where the migration put them; the device
+        simply becomes available to future placements.  Returns True when
+        the status actually changed.
+        """
+        changed = self.controller.topology.set_device_status(name, "up")
+        self.monitor.refresh()
+        if changed:
+            self._emit_explicit(TopologyEvent(
+                kind=DEVICE_UP, device=name,
+                epoch=self.controller.topology.allocation_epoch(),
+            ))
+        return changed
+
+    def fail_link(self, a: str, b: str) -> MigrationReport:
+        """Mark the ``a<->b`` link down and re-place the programs using it."""
+        self.controller.topology.set_link_status(a, b, "down")
+        self.monitor.refresh()
+        pair = (a, b) if a <= b else (b, a)
+        self._emit_explicit(TopologyEvent(
+            kind=LINK_DOWN, device=pair[0], link=pair,
+            epoch=self.controller.topology.allocation_epoch(),
+        ))
+        return self._migrate(
+            owners=self.owners_on_link(a, b),
+            trigger="link-down",
+            subject=f"{a}<->{b}",
+            state_lost=False,
+            skip_devices=(),
+        )
+
+    def migrate_device(self, name: str, trigger: str = "manual",
+                       state_lost: bool = False) -> MigrationReport:
+        """Migrate every program currently occupying *name*."""
+        return self._migrate(
+            owners=self.owners_on_device(name),
+            trigger=trigger,
+            subject=name,
+            state_lost=state_lost,
+            skip_devices=(name,),
+        )
+
+    # ------------------------------------------------------------------ #
+    # rolling updates
+    # ------------------------------------------------------------------ #
+    def update_program(self, name: str, **kwargs):
+        """Swap a deployed program for a new version, atomically.
+
+        Delegates to :meth:`ClickINC.update_program
+        <repro.core.controller.ClickINC.update_program>`; see there for the
+        keyword arguments (``source`` / ``profile`` / ``program`` plus
+        compile options).  Counts the outcome in :attr:`stats`.
+        """
+        try:
+            report = self.controller.update_program(name, **kwargs)
+        except Exception:
+            self.stats.failed_updates += 1
+            raise
+        self.stats.updates += 1
+        return report
+
+    # ------------------------------------------------------------------ #
+    # event handling
+    # ------------------------------------------------------------------ #
+    def _emit_explicit(self, event: TopologyEvent) -> None:
+        """Emit an event from an explicit operation that migrates itself."""
+        self._in_explicit_op = True
+        try:
+            self.monitor.emit(event)
+        finally:
+            self._in_explicit_op = False
+
+    def _on_event(self, event: TopologyEvent) -> None:
+        if event.kind == DEVICE_OVERLOAD:
+            self.stats.overload_events += 1
+            return
+        if (self._in_explicit_op or not self.auto_migrate
+                or not event.needs_migration()):
+            return
+        # poll()-discovered external status change: migrate the survivors
+        if self.owners_on_device(event.device):
+            self.migrate_device(
+                event.device,
+                trigger=event.kind,
+                state_lost=event.kind == DEVICE_DOWN,
+            )
+
+    # ------------------------------------------------------------------ #
+    # the migration engine
+    # ------------------------------------------------------------------ #
+    def _migrate(self, owners: Sequence[str], trigger: str, subject: str,
+                 state_lost: bool,
+                 skip_devices: Sequence[str]) -> MigrationReport:
+        start = time.perf_counter()
+        report = MigrationReport(trigger=trigger, subject=subject,
+                                 affected=list(owners))
+        controller = self.controller
+        pipeline = controller.pipeline
+        emulator = controller.emulator
+        if not owners:
+            report.duration_s = time.perf_counter() - start
+            self._log(report)
+            return report
+
+        # phase 0: snapshot every affected program's deployment record and
+        # its carryable runtime state (a failed device contributes nothing)
+        saved: Dict[str, tuple] = {}
+        for owner in owners:
+            deployed = controller.deployed.get(owner)
+            if deployed is None:
+                raise DeploymentError(
+                    f"program {owner!r} is not registered with the controller"
+                )
+            snapshot = emulator.snapshot_owner_state(
+                owner, skip_devices=skip_devices if state_lost else ())
+            saved[owner] = (deployed, snapshot)
+            report.old_devices[owner] = deployed.devices()
+
+        # phase 1: release every affected program (their combined capacity
+        # must be free before re-placement, or k programs squeezed onto the
+        # survivors could spuriously fail one at a time).  A failure here is
+        # rolled back too: controller.remove is itself atomic, so only the
+        # owners already removed need reinstalling.
+        removed: List[str] = []
+        for owner in owners:
+            try:
+                controller.remove(owner)
+            except Exception as exc:
+                self._reinstall_all(reversed(removed), saved)
+                report.rolled_back = True
+                report.error = f"{owner}: removal failed: {exc}"
+                report.duration_s = time.perf_counter() - start
+                self.stats.rollbacks += 1
+                self._log(report)
+                return report
+            removed.append(owner)
+
+        # phase 2: re-place serially against the surviving topology through
+        # the pipeline's place/validate/commit machinery
+        replaced: List[str] = []
+        failure: Optional[str] = None
+        for owner in owners:
+            deployed, _snapshot = saved[owner]
+            request = DeployRequest(
+                source_groups=list(deployed.source_groups),
+                destination_group=deployed.destination_group,
+                name=owner,
+                program=deployed.plan.block_dag.program,
+                traffic_rates=dict(deployed.traffic_rates)
+                if deployed.traffic_rates else None,
+            )
+            try:
+                run_report = pipeline.run(request)
+            except Exception as exc:
+                failure = f"{owner}: {exc}"
+                break
+            controller.deployed[owner] = run_report.deployed
+            replaced.append(owner)
+
+        if failure is not None:
+            # phase 2b: atomic rollback to the pre-failure committed state —
+            # undo the re-placements, then re-commit every original plan
+            # (and its state) exactly as it was
+            for owner in reversed(replaced):
+                controller.remove(owner)
+            self._reinstall_all(owners, saved)
+            report.rolled_back = True
+            report.error = failure
+            report.duration_s = time.perf_counter() - start
+            self.stats.rollbacks += 1
+            self._log(report)
+            return report
+
+        # phase 3: carry forward the snapshotted state into the new runtimes
+        for owner in owners:
+            _deployed, snapshot = saved[owner]
+            emulator.restore_owner_state(owner, snapshot)
+            report.new_devices[owner] = controller.deployed[owner].devices()
+
+        report.migrated = replaced
+        report.duration_s = time.perf_counter() - start
+        self.stats.migrations += 1
+        self.stats.migrated_programs += len(replaced)
+        self._log(report)
+        return report
+
+    def _reinstall_all(self, owners, saved: Dict[str, tuple]) -> None:
+        """Re-commit the saved (plan, state) records of *owners* unchanged."""
+        for owner in owners:
+            deployed, snapshot = saved[owner]
+            self.controller.pipeline.reinstall(deployed)
+            self.controller.deployed[owner] = deployed
+            self.controller.emulator.restore_owner_state(owner, snapshot)
+
+    def _log(self, report: MigrationReport) -> None:
+        self.migration_log.append(report)
+
+    # ------------------------------------------------------------------ #
+    # observability
+    # ------------------------------------------------------------------ #
+    def last_migration(self) -> Optional[MigrationReport]:
+        return self.migration_log[-1] if self.migration_log else None
+
+    def runtime_summary(self) -> Dict[str, object]:
+        summary: Dict[str, object] = dict(self.stats.summary())
+        summary["events"] = self.monitor.event_counts()
+        # name -> status, so a failed switch (state lost) is distinguishable
+        # from a healthy drained one (state intact)
+        summary["unavailable_devices"] = (
+            self.controller.topology.unavailable_devices()
+        )
+        return summary

@@ -56,6 +56,8 @@ def compute_equivalence_classes(topo: NetworkTopology,
     names = list(devices) if devices is not None else [
         name for name in topo.devices if topo.layers[name] not in ("accel",)
     ]
+    # down / draining devices can never host placements
+    names = [name for name in names if topo.device(name).is_available()]
     signature_to_members: Dict[Tuple, List[str]] = {}
     for name in names:
         device = topo.device(name)
@@ -218,7 +220,10 @@ def build_reduced_tree(
     def get_node(ec_id: str, side: str) -> ReducedNode:
         if ec_id not in nodes:
             ec = ec_by_id[ec_id]
-            bypass = [topo.bypass[m] for m in ec.members if m in topo.bypass]
+            bypass = [
+                topo.bypass[m] for m in ec.members
+                if m in topo.bypass and topo.device(topo.bypass[m]).is_available()
+            ]
             nodes[ec_id] = ReducedNode(ec=ec, side=side, traffic_share=0.0,
                                        bypass=bypass)
         return nodes[ec_id]

@@ -26,6 +26,10 @@ class Link:
     b: str
     capacity_gbps: float = 100.0
     latency_ns: float = 1000.0
+    status: str = "up"             # "up" or "down"
+
+    def is_up(self) -> bool:
+        return self.status == "up"
 
 
 @dataclass
@@ -64,6 +68,7 @@ class NetworkTopology:
         self.host_groups: Dict[str, HostGroup] = {}
         self.bypass: Dict[str, str] = {}   # switch name -> attached accelerator name
         self._fingerprint_cache: tuple = (-1, "")
+        self._forwarding_cache: tuple = (-1, None)
 
     # ------------------------------------------------------------------ #
     # construction
@@ -138,6 +143,75 @@ class NetworkTopology:
         return data["link"]
 
     # ------------------------------------------------------------------ #
+    # operational status (device failures, drains, link flaps)
+    # ------------------------------------------------------------------ #
+    def set_device_status(self, name: str, status: str) -> bool:
+        """Mark a device ``"up"``, ``"drain"`` or ``"down"``.
+
+        Non-up devices are excluded from forwarding paths and from placement
+        candidates.  A status flip bumps the device's allocation version —
+        and therefore :meth:`allocation_epoch` and every fingerprint that
+        covers the device — so speculative plans placed before the change
+        fail validation and stale plan-cache entries stop hitting.  Returns
+        True when the status actually changed.
+        """
+        return self.device(name).set_status(status)
+
+    def device_status(self, name: str) -> str:
+        return self.device(name).status
+
+    def set_link_status(self, a: str, b: str, status: str) -> bool:
+        """Mark the link between *a* and *b* ``"up"`` or ``"down"``.
+
+        A link flip bumps both endpoints' topology versions (part of their
+        allocation fingerprints), so placements computed when the link was
+        in the old state no longer validate.  Returns True when the status
+        actually changed.
+        """
+        if status not in ("up", "down"):
+            raise TopologyError(f"unknown link status {status!r}")
+        link = self.link(a, b)
+        if link.status == status:
+            return False
+        link.status = status
+        self.device(a).bump_topology_version()
+        self.device(b).bump_topology_version()
+        return True
+
+    def remove_link(self, a: str, b: str) -> Link:
+        """Permanently remove the link between *a* and *b*.
+
+        Both endpoints' topology versions are bumped (the removal changes
+        what placement and routing can rely on), so the allocation epoch
+        advances and fingerprint caches are invalidated.  Returns the
+        removed :class:`Link`.
+        """
+        link = self.link(a, b)
+        self.graph.remove_edge(a, b)
+        self.device(a).bump_topology_version()
+        self.device(b).bump_topology_version()
+        return link
+
+    def down_devices(self) -> List[str]:
+        """Names of devices currently failed (status ``"down"``)."""
+        return sorted(
+            name for name, device in self.devices.items()
+            if device.status == "down"
+        )
+
+    def unavailable_devices(self) -> Dict[str, str]:
+        """``name -> status`` of every device not serving (down or drain)."""
+        return {
+            name: device.status
+            for name, device in sorted(self.devices.items())
+            if not device.is_available()
+        }
+
+    def available_devices(self) -> List[str]:
+        return [name for name, device in self.devices.items()
+                if device.is_available()]
+
+    # ------------------------------------------------------------------ #
     # path enumeration
     # ------------------------------------------------------------------ #
     def paths_between_groups(self, src_group: str, dst_group: str,
@@ -150,20 +224,53 @@ class NetworkTopology:
         """
         src_tor = self.host_group(src_group).tor
         dst_tor = self.host_group(dst_group).tor
+        for tor, group in ((src_tor, src_group), (dst_tor, dst_group)):
+            if not self.devices[tor].is_available():
+                raise TopologyError(
+                    f"host group {group!r} is unreachable: its ToR {tor!r} "
+                    f"is {self.devices[tor].status}"
+                )
         if src_tor == dst_tor:
             return [[src_tor]]
-        forwarding = self.graph.subgraph(
-            [n for n in self.graph.nodes if self.layers[n] != "accel"]
-        )
+        forwarding = self._forwarding_graph()
         try:
             paths = list(
                 nx.all_shortest_paths(forwarding, source=src_tor, target=dst_tor)
             )
-        except nx.NetworkXNoPath as exc:
+        except (nx.NetworkXNoPath, nx.NodeNotFound) as exc:
             raise TopologyError(
                 f"no path between {src_group!r} and {dst_group!r}"
             ) from exc
         return paths[:max_paths]
+
+    def _forwarding_graph(self) -> "nx.Graph":
+        """The live forwarding graph: no accelerators, no down devices/links.
+
+        Memoised per :meth:`allocation_epoch` — status flips, link flips and
+        link removals all advance the epoch, so routing (which runs per
+        emulated packet) pays the graph construction once per topology
+        change instead of once per call.  Structural additions
+        (``add_device``/``add_link``) are construction-time operations and
+        also rebuild it, since an epoch built from different device sets
+        never collides in practice with the node/edge count changing.
+        """
+        epoch = (self.allocation_epoch(), self.graph.number_of_nodes(),
+                 self.graph.number_of_edges())
+        cached_epoch, cached = self._forwarding_cache
+        if cached_epoch == epoch and cached is not None:
+            return cached
+        usable = [
+            n for n in self.graph.nodes
+            if self.layers[n] != "accel" and self.devices[n].is_available()
+        ]
+        forwarding = nx.Graph()
+        forwarding.add_nodes_from(usable)
+        usable_set = set(usable)
+        for a, b, data in self.graph.edges(data=True):
+            if a in usable_set and b in usable_set and data["link"].is_up():
+                forwarding.add_edge(a, b)
+        self._forwarding_cache = (epoch, forwarding)
+        return forwarding
 
     def paths_for_traffic(self, sources: Sequence[str], destination: str,
                           max_paths: int = 64) -> Dict[str, List[List[str]]]:
@@ -281,8 +388,17 @@ class NetworkTopology:
             return 0.0
         return sum(d.utilisation() for d in self.devices.values()) / len(self.devices)
 
-    def __repr__(self) -> str:  # pragma: no cover
+    def __repr__(self) -> str:
+        notes = ""
+        down = self.down_devices()
+        if down:
+            notes += f", down={down}"
+        draining = [name for name, status in self.unavailable_devices().items()
+                    if status == "drain"]
+        if draining:
+            notes += f", draining={draining}"
         return (
             f"NetworkTopology(name={self.name!r}, devices={len(self.devices)}, "
-            f"links={self.graph.number_of_edges()}, groups={len(self.host_groups)})"
+            f"links={self.graph.number_of_edges()}, "
+            f"groups={len(self.host_groups)}{notes})"
         )

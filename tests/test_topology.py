@@ -229,3 +229,89 @@ class TestReducedTree:
         topo = build_chain(2)
         with pytest.raises(TopologyError):
             build_reduced_tree(topo, [], "server")
+
+
+class TestOperationalStatus:
+    def test_device_status_bumps_epoch_and_fingerprint(self):
+        topo = build_fattree(k=4)
+        epoch = topo.allocation_epoch()
+        fingerprint = topo.allocation_fingerprint()
+        device_fp = topo.device("Agg0_0").allocation_fingerprint()
+        assert topo.set_device_status("Agg0_0", "down") is True
+        assert topo.allocation_epoch() > epoch
+        assert topo.allocation_fingerprint() != fingerprint
+        assert topo.device("Agg0_0").allocation_fingerprint() != device_fp
+        # idempotent: setting the same status again changes nothing
+        epoch = topo.allocation_epoch()
+        assert topo.set_device_status("Agg0_0", "down") is False
+        assert topo.allocation_epoch() == epoch
+
+    def test_unknown_status_rejected(self):
+        topo = build_fattree(k=4)
+        with pytest.raises(ValueError):
+            topo.set_device_status("Agg0_0", "sideways")
+        with pytest.raises(TopologyError):
+            topo.set_link_status("Agg0_0", "Core0_0", "sideways")
+
+    def test_down_device_excluded_from_paths(self):
+        topo = build_fattree(k=4)
+        assert any("Agg0_0" in p
+                   for p in topo.paths_between_groups("pod0(a)", "pod0(b)"))
+        topo.set_device_status("Agg0_0", "down")
+        paths = topo.paths_between_groups("pod0(a)", "pod0(b)")
+        assert paths and all("Agg0_0" not in p for p in paths)
+
+    def test_down_tor_makes_group_unreachable(self):
+        topo = build_fattree(k=4)
+        topo.set_device_status("ToR0_0", "down")
+        with pytest.raises(TopologyError):
+            topo.paths_between_groups("pod0(a)", "pod0(b)")
+
+    def test_link_status_bumps_both_endpoints(self):
+        topo = build_fattree(k=4)
+        epoch = topo.allocation_epoch()
+        fp_a = topo.device("ToR0_0").allocation_fingerprint()
+        fp_b = topo.device("Agg0_0").allocation_fingerprint()
+        assert topo.set_link_status("ToR0_0", "Agg0_0", "down") is True
+        assert topo.allocation_epoch() > epoch
+        assert topo.device("ToR0_0").allocation_fingerprint() != fp_a
+        assert topo.device("Agg0_0").allocation_fingerprint() != fp_b
+        paths = topo.paths_between_groups("pod0(a)", "pod0(b)")
+        assert all(["ToR0_0", "Agg0_0"] != p[:2] for p in paths)
+        assert topo.set_link_status("ToR0_0", "Agg0_0", "down") is False
+
+    def test_remove_link_bumps_epoch_and_reroutes(self):
+        topo = build_fattree(k=4)
+        epoch = topo.allocation_epoch()
+        topo.remove_link("ToR0_0", "Agg0_0")
+        assert topo.allocation_epoch() > epoch
+        with pytest.raises(TopologyError):
+            topo.link("ToR0_0", "Agg0_0")
+        paths = topo.paths_between_groups("pod0(a)", "pod0(b)")
+        assert paths and all("Agg0_0" not in p for p in paths)
+
+    def test_repr_reflects_down_devices(self):
+        topo = build_fattree(k=4)
+        assert "down=" not in repr(topo)
+        topo.set_device_status("Agg0_0", "down")
+        assert "down=['Agg0_0']" in repr(topo)
+        topo.set_device_status("Agg0_1", "drain")
+        assert "draining=['Agg0_1']" in repr(topo)
+        assert topo.down_devices() == ["Agg0_0"]   # drain is not a failure
+        assert topo.unavailable_devices() == {"Agg0_0": "down",
+                                              "Agg0_1": "drain"}
+
+    def test_equivalence_classes_skip_unavailable_devices(self):
+        topo = build_fattree(k=4)
+        topo.set_device_status("Agg0_0", "drain")
+        classes = compute_equivalence_classes(topo)
+        members = {m for cls in classes for m in cls.members}
+        assert "Agg0_0" not in members
+
+    def test_allocation_state_round_trips_status(self):
+        topo = build_fattree(k=4)
+        topo.set_device_status("Agg0_0", "down")
+        state = topo.allocation_states(["Agg0_0"])
+        other = build_fattree(k=4)
+        other.apply_allocation_states(state)
+        assert other.device_status("Agg0_0") == "down"
