@@ -3,9 +3,11 @@
 
 Runs the cold-batch deployment benchmark
 (:mod:`benchmarks.bench_parallel_deploy`), the async service-runtime
-benchmark (:mod:`benchmarks.bench_async_service`) and the failure-injection
-benchmark (:mod:`benchmarks.bench_runtime_migration`), writes the
-measurements to a ``BENCH_pipeline.json`` artifact, and exits non-zero when
+benchmark (:mod:`benchmarks.bench_async_service`), the failure-injection
+benchmark (:mod:`benchmarks.bench_runtime_migration`) and the
+sharded-controller benchmark (:mod:`benchmarks.bench_sharded_scaling`),
+writes the measurements to a ``BENCH_pipeline.json`` artifact, and exits
+non-zero when
 
 * cold-batch throughput regresses more than ``tolerance`` (default 30%)
   below the committed numbers in ``benchmarks/BENCH_baseline.json``,
@@ -19,7 +21,12 @@ measurements to a ``BENCH_pipeline.json`` artifact, and exits non-zero when
 * a device failure stops migrating exactly the programs the dead device
   hosted (or disturbs untouched tenants, or breaks post-recovery traffic),
   recovery latency exceeds ``max_migration_recovery_s``, or an un-placeable
-  migration stops rolling back to the pre-failure committed state.
+  migration stops rolling back to the pre-failure committed state,
+* the sharded controller's per-pod placements diverge from the
+  single-shard (serial) result, a cross-shard two-phase commit stops
+  succeeding cleanly (or exceeds ``max_cross_shard_commit_s``), or —
+  on machines with the cores to back it — multi-shard intra-pod deploy
+  throughput stops exceeding single-shard (``min_sharded_speedup``).
 
 Usage (from the repository root, with ``PYTHONPATH=src``)::
 
@@ -48,6 +55,10 @@ from benchmarks.bench_parallel_deploy import (  # noqa: E402
 from benchmarks.bench_runtime_migration import (  # noqa: E402
     run_all as run_runtime_migration,
 )
+from benchmarks.bench_sharded_scaling import (  # noqa: E402
+    MIN_CORES as SHARDED_MIN_CORES,
+    run_all as run_sharded_scaling,
+)
 
 DEFAULT_BASELINE = Path(__file__).resolve().parent / "BENCH_baseline.json"
 
@@ -62,6 +73,9 @@ def measure() -> dict:
     migration = run_runtime_migration()
     recovery = migration["recovery"]
     rollback = migration["rollback"]
+    sharded = run_sharded_scaling()
+    scaling = sharded["scaling"]
+    cross = sharded["cross_shard"]
     return {
         "generated_unix_time": int(time.time()),
         "cores": usable_cores(),
@@ -91,6 +105,18 @@ def measure() -> dict:
         "migration_rollback_ok": bool(
             rollback["rolled_back"] and rollback["restored_committed_state"]
         ),
+        "sharded_n": scaling["n"],
+        "sharded_shards": scaling["shards"],
+        "sharded_rps_single": round(scaling["single_rps"], 3),
+        "sharded_rps_multi": round(scaling["multi_rps"], 3),
+        "sharded_speedup": round(scaling["speedup"], 3),
+        "sharded_identical_placements": bool(scaling["identical_placements"]),
+        "cross_shard_commit_ok": bool(
+            cross["succeeded"]
+            and cross["cross_shard_commits"] == 1
+            and cross["aborted_prepares"] == 0
+        ),
+        "cross_shard_commit_s": round(cross["commit_s"], 4),
     }
 
 
@@ -189,6 +215,33 @@ def check(measured: dict, baseline: dict) -> list:
             "an un-placeable migration no longer rolls back to the"
             " pre-failure committed state"
         )
+
+    # the sharded controller: per-pod shards + cross-shard 2PC
+    if not measured["sharded_identical_placements"]:
+        failures.append(
+            "multi-shard placements no longer match the single-shard"
+            " (serial) result"
+        )
+    if not measured["cross_shard_commit_ok"]:
+        failures.append(
+            "the cross-shard two-phase commit no longer commits cleanly"
+            " (failed, uncounted, or spuriously aborted a prepare)"
+        )
+    max_cross = float(baseline.get("max_cross_shard_commit_s", 2.0))
+    if measured["cross_shard_commit_s"] > max_cross:
+        failures.append(
+            f"a cross-shard commit took {measured['cross_shard_commit_s']:.3f}s"
+            f" (must stay below {max_cross:.1f}s)"
+        )
+    min_sharded = float(baseline.get("min_sharded_speedup", 1.05))
+    if measured["cores"] >= SHARDED_MIN_CORES:
+        if measured["sharded_speedup"] < min_sharded:
+            failures.append(
+                f"{measured['sharded_shards']} controller shards are only"
+                f" {measured['sharded_speedup']:.2f}x faster than one shard"
+                f" (need {min_sharded:.2f}x on a {measured['cores']}-core"
+                " machine)"
+            )
     return failures
 
 

@@ -43,6 +43,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.core.cache import ArtifactCache
+from repro.core.stats import CounterMixin
 from repro.core.pipeline import (
     DeployRequest,
     StageRecord,
@@ -209,7 +210,7 @@ def _picklable(payload) -> bool:
     return True
 
 
-class ParallelCompileService:
+class ParallelCompileService(CounterMixin):
     """Owns the persistent process pool behind ``run_many(..., workers=N)``.
 
     Responsibilities:
@@ -280,7 +281,7 @@ class ParallelCompileService:
             self, self._pool.shutdown, wait=False
         )
         self._pool_broken = False
-        self.pool_generation += 1
+        self.increment("pool_generation")
         # With fork, workers inherit the parent's memory when they are
         # actually spawned (first submit), which can only be *later* than
         # this baseline — the delta protocol then over-syncs harmlessly
@@ -390,7 +391,7 @@ class ParallelCompileService:
             hit, cached = cache.lookup(keys[index])
             precompiled[index] = cached if hit else None
         self._run_wave(requests, followers, precompiled, results, sync)
-        self.batches_served += 1
+        self.increment("batches_served")
         return results
 
     # ------------------------------------------------------------------ #
@@ -507,7 +508,7 @@ class ParallelCompileService:
 
     def _compile_inline(self, index: int, request: DeployRequest) -> SpeculativeResult:
         """In-process fallback: pure compile only, placement at commit time."""
-        self.inline_fallbacks += 1
+        self.increment("inline_fallbacks")
         try:
             program, records = self.pipeline.compile_stages(request)
         except Exception as exc:

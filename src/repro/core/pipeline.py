@@ -303,6 +303,7 @@ def rebrand_plan(plan: PlacementPlan, program: IRProgram) -> PlacementPlan:
         topology_fingerprint=plan.topology_fingerprint,
         device_fingerprints=dict(plan.device_fingerprints),
         epoch=plan.epoch,
+        shard_epochs=dict(plan.shard_epochs),
     )
 
 

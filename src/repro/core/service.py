@@ -26,6 +26,19 @@ resulting history — placements, failures, cache effects — is therefore
 identical to the equivalent serial schedule of the admitted operations, no
 matter how the callers interleave.
 
+**Sharded mode.** Handing the service a
+:class:`~repro.sharding.coordinator.ShardCoordinator` (or a topology plus
+``sharded=True`` / an explicit ``partition=``) replaces the single admission
+queue with one **lane per controller shard**: intra-shard submissions queue
+and wave inside their own lane, so shards compile and commit concurrently,
+and a barrier (remove, update) blocks only the lane of the shard owning the
+program.  Submissions whose traffic spans shards skip the lanes entirely
+and run through the coordinator's cross-shard two-phase commit, which takes
+exactly the touched shards' commit locks — a cross-shard wave is a barrier
+for the shards it touches and invisible to the rest.  Its serialisation
+point is lock acquisition, not admission order: untouched lanes keep
+flowing throughout.
+
 Everything blocking (worker-pool waits, commits) runs on the event loop's
 default thread-pool executor, so the loop itself never stalls on a wave.
 """
@@ -33,12 +46,13 @@ default thread-pool executor, so the loop itself never stalls on a wave.
 from __future__ import annotations
 
 import asyncio
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from functools import partial
 from typing import Dict, List, Optional
 
 from repro.core.controller import ClickINC
 from repro.core.pipeline import DeployRequest, PipelineReport
+from repro.core.stats import CounterMixin, ShardCounters
 from repro.exceptions import DeploymentError
 from repro.synthesis.incremental import SynthesisDelta
 from repro.topology.network import NetworkTopology
@@ -65,11 +79,14 @@ class _Admission:
 
 
 @dataclass
-class ServiceStats:
+class ServiceStats(CounterMixin):
     """Counters describing the service's batching behaviour.
 
     Running aggregates only — an always-on service processes an unbounded
-    number of waves, so nothing here may grow with the wave count.
+    number of waves, so nothing here may grow with the wave count.  Every
+    update goes through :meth:`~repro.core.stats.CounterMixin.increment`
+    (or the :meth:`record_wave` helper built on it), never through ad-hoc
+    attribute arithmetic at the call sites.
     """
 
     submitted: int = 0
@@ -82,17 +99,26 @@ class ServiceStats:
     updates: int = 0
     #: programs live-migrated by fail/drain barriers
     migrations: int = 0
+    #: cross-shard programs committed through the two-phase commit
+    cross_shard_commits: int = 0
+    #: cross-shard prepares aborted because a touched shard's allocation
+    #: state drifted from the epoch-tagged snapshot placement ran against
+    aborted_prepares: int = 0
+    #: per-shard activity breakdown: each entry is the owning shard's own
+    #: :class:`ShardCounters` bag, aliased in by the coordinator so the
+    #: counters are incremented exactly once
+    per_shard: Dict[str, ShardCounters] = field(default_factory=dict)
 
     def record_wave(self, size: int, failures: int = 0) -> None:
-        self.waves += 1
-        self.submitted += size
+        self.increment("waves")
+        self.increment("submitted", size)
         if size > self.max_wave:
             self.max_wave = size
         if failures:
-            self.failed_waves += 1
+            self.increment("failed_waves")
 
     def summary(self) -> Dict[str, object]:
-        return {
+        summary: Dict[str, object] = {
             "submitted": self.submitted,
             "removed": self.removed,
             "waves": self.waves,
@@ -101,7 +127,15 @@ class ServiceStats:
             "failed_waves": self.failed_waves,
             "updates": self.updates,
             "migrations": self.migrations,
+            "cross_shard_commits": self.cross_shard_commits,
+            "aborted_prepares": self.aborted_prepares,
         }
+        if self.per_shard:
+            summary["per_shard"] = {
+                shard_id: counters.summary()
+                for shard_id, counters in sorted(self.per_shard.items())
+            }
+        return summary
 
 
 class INCService:
@@ -131,9 +165,23 @@ class INCService:
 
     def __init__(self, controller_or_topology, *, workers: int = 2,
                  max_wave: int = 8, max_pending: int = 0,
-                 coalesce_s: float = 0.001, **controller_kwargs) -> None:
-        if isinstance(controller_or_topology, ClickINC):
-            if controller_kwargs:
+                 coalesce_s: float = 0.001, sharded: bool = False,
+                 partition=None, shard_workers: Optional[int] = None,
+                 **controller_kwargs) -> None:
+        from repro.sharding.coordinator import ShardCoordinator
+
+        self.coordinator: Optional[ShardCoordinator] = None
+        if isinstance(controller_or_topology, ShardCoordinator):
+            if controller_kwargs or sharded or partition is not None:
+                raise DeploymentError(
+                    "construction keyword arguments are only valid when the "
+                    "service builds its own coordinator from a topology"
+                )
+            self.coordinator = controller_or_topology
+            self.controller = self.coordinator.inter
+            self._owns_controller = False
+        elif isinstance(controller_or_topology, ClickINC):
+            if controller_kwargs or sharded or partition is not None:
                 raise DeploymentError(
                     "controller keyword arguments are only valid when the "
                     "service builds its own controller from a topology"
@@ -141,20 +189,45 @@ class INCService:
             self.controller = controller_or_topology
             self._owns_controller = False
         elif isinstance(controller_or_topology, NetworkTopology):
-            self.controller = ClickINC(controller_or_topology,
-                                       **controller_kwargs)
+            if sharded or partition is not None:
+                self.coordinator = ShardCoordinator(
+                    controller_or_topology, partition,
+                    shard_workers=(1 if shard_workers is None
+                                   else shard_workers),
+                    **controller_kwargs)
+                self.controller = self.coordinator.inter
+            else:
+                self.controller = ClickINC(controller_or_topology,
+                                           **controller_kwargs)
             self._owns_controller = True
         else:
             raise DeploymentError(
-                "INCService needs a ClickINC controller or a NetworkTopology"
+                "INCService needs a ClickINC controller, a ShardCoordinator "
+                "or a NetworkTopology"
             )
         self.workers = max(1, int(workers))
         self.max_wave = max(1, int(max_wave))
         self.max_pending = max(0, int(max_pending))
         self.coalesce_s = max(0.0, float(coalesce_s))
-        self.stats = ServiceStats()
+        # sharded mode shares the coordinator's counter bag, so cross-shard
+        # commits / aborted prepares / per-shard breakdowns show up in the
+        # service-level summary without any double counting
+        self.stats = (ServiceStats() if self.coordinator is None
+                      else self.coordinator.stats)
         self._queue: Optional["asyncio.Queue[_Admission]"] = None
         self._dispatcher: Optional["asyncio.Task"] = None
+        #: sharded mode: one admission lane (queue + dispatcher) per shard
+        self._lanes: Dict[str, "asyncio.Queue[_Admission]"] = {}
+        self._lane_tasks: List["asyncio.Task"] = []
+        #: sharded mode: lane of every submission admitted but not yet
+        #: committed (``name -> (lane id, admitting future)``), so a
+        #: barrier on a name the coordinator does not know yet still
+        #: queues behind the submission that will create it
+        self._pending_lane: Dict[str, tuple] = {}
+        #: completion markers of direct-path operations (cross-shard
+        #: submits, device events) that bypass the lanes; drain()/close()
+        #: wait on them so the coordinator is never shut down mid-2PC
+        self._direct: set = set()
         self._outstanding: set = set()
         self._closed = False
 
@@ -171,15 +244,28 @@ class INCService:
     def _ensure_started(self) -> None:
         if self._closed:
             raise DeploymentError("the INC service is closed")
-        if self._queue is None:
+        if self._queue is not None or self._lanes:
+            return
+        loop = asyncio.get_running_loop()
+        if self.coordinator is not None:
+            for shard_id in sorted(self.coordinator.shards):
+                queue: "asyncio.Queue[_Admission]" = asyncio.Queue(
+                    maxsize=self.max_pending
+                )
+                self._lanes[shard_id] = queue
+                self._lane_tasks.append(loop.create_task(
+                    self._dispatch_loop(queue, shard_id=shard_id)
+                ))
+        else:
             self._queue = asyncio.Queue(maxsize=self.max_pending)
-            self._dispatcher = asyncio.get_running_loop().create_task(
-                self._dispatch_loop()
+            self._dispatcher = loop.create_task(
+                self._dispatch_loop(self._queue)
             )
 
     async def drain(self) -> None:
         """Wait until every operation admitted so far has completed."""
-        pending = [f for f in self._outstanding if not f.done()]
+        pending = [f for f in (self._outstanding | self._direct)
+                   if not f.done()]
         if pending:
             await asyncio.gather(*pending, return_exceptions=True)
 
@@ -194,14 +280,28 @@ class INCService:
         if self._closed:
             return
         self._closed = True
-        if self._queue is not None:
+        queues = ([self._queue] if self._queue is not None
+                  else list(self._lanes.values()))
+        if queues:
             if drain:
                 await self.drain()
-            stop: "asyncio.Future" = asyncio.get_running_loop().create_future()
-            await self._queue.put(_Admission(kind="stop", future=stop))
-            await stop
+            loop = asyncio.get_running_loop()
+            stops: List["asyncio.Future"] = []
+            for queue in queues:
+                stop: "asyncio.Future" = loop.create_future()
+                await queue.put(_Admission(kind="stop", future=stop))
+                stops.append(stop)
+            await asyncio.gather(*stops)
             self._dispatcher = None
             self._queue = None
+            self._lanes = {}
+            self._lane_tasks = []
+        # direct-path operations cannot be cancelled (they run on executor
+        # threads against the coordinator's shared state), so completing
+        # them is the only safe way to close — even with drain=False
+        pending_direct = [f for f in self._direct if not f.done()]
+        if pending_direct:
+            await asyncio.gather(*pending_direct, return_exceptions=True)
         for future in list(self._outstanding):
             if not future.done():
                 future.set_exception(
@@ -210,7 +310,10 @@ class INCService:
                 )
         self._outstanding.clear()
         if self._owns_controller:
-            self.controller.close()
+            if self.coordinator is not None:
+                self.coordinator.close()
+            else:
+                self.controller.close()
 
     # ------------------------------------------------------------------ #
     # the service API
@@ -222,13 +325,63 @@ class INCService:
         per-request failures (``succeeded=False``, ``error``,
         ``failed_stage``) are reported, not raised, exactly as in
         ``deploy_many``.
+
+        In sharded mode the request queues in its shard's own lane; a
+        request whose traffic spans shards runs through the coordinator's
+        cross-shard two-phase commit instead, serialising against exactly
+        the touched shards' commit locks.
         """
+        self._ensure_started()
+        queue = self._queue
+        if self.coordinator is not None:
+            touched, route_error = self.coordinator._route(request)
+            if route_error is not None:
+                self.stats.record_wave(1, failures=1)
+                return route_error
+            if len(touched) > 1:
+                # register the in-flight cross submission (lane None) so a
+                # racing barrier on the same name waits for it instead of
+                # failing on a name the coordinator does not know yet
+                name = request.resolved_name()
+                marker: "asyncio.Future" = (
+                    asyncio.get_running_loop().create_future()
+                )
+                self._pending_lane[name] = (None, marker)
+                try:
+                    report = await self._run_direct(
+                        partial(self.coordinator.deploy, request)
+                    )
+                finally:
+                    entry = self._pending_lane.get(name)
+                    if entry is not None and entry[1] is marker:
+                        del self._pending_lane[name]
+                    if not marker.done():
+                        marker.set_result(None)
+                self.stats.record_wave(
+                    1, failures=0 if report.succeeded else 1
+                )
+                return report
+            queue = self._lanes[touched[0]]
         admission = self._admit(_Admission(
             kind="submit",
             future=asyncio.get_running_loop().create_future(),
             request=request,
         ))
-        await self._queue.put(admission)
+        if self.coordinator is not None:
+            name = request.resolved_name()
+            token = admission.future
+            self._pending_lane[name] = (touched[0], token)
+
+            def clear_pending(_future, name=name, token=token):
+                # only the admission that owns the entry may remove it: an
+                # earlier same-name submission completing must not strip a
+                # later one's lane mapping
+                entry = self._pending_lane.get(name)
+                if entry is not None and entry[1] is token:
+                    del self._pending_lane[name]
+
+            admission.future.add_done_callback(clear_pending)
+        await queue.put(admission)
         return await admission.future
 
     async def remove(self, name: str, lazy: bool = True) -> SynthesisDelta:
@@ -240,14 +393,24 @@ class INCService:
         identical to the equivalent serial schedule.  Removing an unknown
         (or not-yet-committed, per admission order) program raises
         :class:`DeploymentError`.
+
+        In sharded mode the removal barriers only the owning shard's lane;
+        cross-shard programs release under the touched shards' commit locks
+        without blocking any lane.
         """
+        await self._await_pending_cross(name)
+        queue = self._barrier_queue(name)
+        if queue is None:
+            return await self._run_direct(
+                partial(self.coordinator.remove, name, lazy=lazy)
+            )
         admission = self._admit(_Admission(
             kind="remove",
             future=asyncio.get_running_loop().create_future(),
             name=name,
             lazy=lazy,
         ))
-        await self._queue.put(admission)
+        await queue.put(admission)
         return await admission.future
 
     async def update(self, name: str, **kwargs) -> PipelineReport:
@@ -261,13 +424,19 @@ class INCService:
         ``submit``/``remove`` callers observe either the old version or the
         new one — never an interleaving.
         """
+        await self._await_pending_cross(name)
+        queue = self._barrier_queue(name)
+        if queue is None:
+            return await self._run_direct(
+                partial(self.coordinator.update, name, **kwargs)
+            )
         admission = self._admit(_Admission(
             kind="update",
             future=asyncio.get_running_loop().create_future(),
             name=name,
             payload=dict(kwargs),
         ))
-        await self._queue.put(admission)
+        await queue.put(admission)
         return await admission.future
 
     async def fail_device(self, name: str):
@@ -277,7 +446,18 @@ class INCService:
         :class:`~repro.runtime.manager.RuntimeManager`: the device is marked
         down and every program whose committed plan occupied it is
         live-migrated (or everything rolls back if one cannot be re-placed).
+
+        In sharded mode the event routes through the coordinator: only the
+        shards that can see the device do migration work (under their
+        locks); shard migrations that cannot re-place inside their view
+        escalate to the coordinator's full-fabric controller.
         """
+        self._ensure_started()
+        if self.coordinator is not None:
+            # the coordinator counts the migrations in the shared stats bag
+            return await self._run_direct(
+                partial(self.coordinator.fail_device, name)
+            )
         admission = self._admit(_Admission(
             kind="fail-device",
             future=asyncio.get_running_loop().create_future(),
@@ -290,6 +470,11 @@ class INCService:
         """Admit a maintenance drain; like :meth:`fail_device` but the
         drained device's register/table state is carried to the new
         placement."""
+        self._ensure_started()
+        if self.coordinator is not None:
+            return await self._run_direct(
+                partial(self.coordinator.drain_device, name)
+            )
         admission = self._admit(_Admission(
             kind="drain-device",
             future=asyncio.get_running_loop().create_future(),
@@ -304,7 +489,65 @@ class INCService:
         admission.future.add_done_callback(self._outstanding.discard)
         return admission
 
+    def _barrier_queue(self, name: str) -> Optional["asyncio.Queue"]:
+        """The lane a barrier on *name* must queue in, or None for the
+        coordinator's direct (lock-serialised) path.
+
+        Unsharded services always use the single queue.  Sharded services
+        route a barrier to the lane of the shard owning the program — or,
+        for a name whose submission is admitted but not yet committed, the
+        lane that submission went to, so the barrier queues behind it
+        exactly as in the unsharded serial schedule.  Cross-shard-owned
+        and unknown programs take the direct path (the coordinator raises
+        for unknown names).
+        """
+        self._ensure_started()
+        if self.coordinator is None:
+            return self._queue
+        owner = self.coordinator.owner_of(name)
+        if owner in self._lanes:
+            return self._lanes[owner]
+        pending = self._pending_lane.get(name)
+        if pending is not None and pending[0] in self._lanes:
+            return self._lanes[pending[0]]
+        return None
+
+    async def _await_pending_cross(self, name: str) -> None:
+        """Wait out an in-flight cross-shard submission of *name*.
+
+        Cross submissions bypass the lanes, so a barrier cannot queue
+        behind them; waiting for the submission's completion marker
+        restores the serial schedule (submit committed, then the barrier).
+        """
+        if self.coordinator is None:
+            return
+        entry = self._pending_lane.get(name)
+        if entry is not None and entry[0] is None:
+            await asyncio.shield(entry[1])
+
+    async def _run_direct(self, fn):
+        """Run a coordinator operation on the executor, tracked for drain.
+
+        Direct-path operations bypass the admission lanes (they serialise
+        on the coordinator's locks instead), so they leave a completion
+        marker that :meth:`drain` and :meth:`close` wait on — the
+        coordinator must never be shut down while a 2PC or migration is
+        still running on an executor thread.  The coordinator does its own
+        counting, so no service-side stats are touched here.
+        """
+        loop = asyncio.get_running_loop()
+        marker: "asyncio.Future" = loop.create_future()
+        self._direct.add(marker)
+        marker.add_done_callback(self._direct.discard)
+        try:
+            return await loop.run_in_executor(None, fn)
+        finally:
+            if not marker.done():
+                marker.set_result(None)
+
     def deployed_programs(self) -> List[str]:
+        if self.coordinator is not None:
+            return self.coordinator.deployed_programs()
         return self.controller.deployed_programs()
 
     def service_summary(self) -> Dict[str, object]:
@@ -318,19 +561,23 @@ class INCService:
         runtime = getattr(self.controller, "_runtime", None)
         if runtime is not None:
             summary["runtime"] = runtime.runtime_summary()
+        if self.coordinator is not None:
+            summary["coordinator"] = self.coordinator.coordinator_summary()
         return summary
 
     # ------------------------------------------------------------------ #
     # dispatcher
     # ------------------------------------------------------------------ #
-    async def _dispatch_loop(self) -> None:
-        """Drain the admission queue into compile waves, forever.
+    async def _dispatch_loop(self, queue: "asyncio.Queue[_Admission]",
+                             shard_id: Optional[str] = None) -> None:
+        """Drain one admission queue into compile waves, forever.
 
         Contiguous submissions coalesce into one wave (bounded by
         ``max_wave``); a removal — or the stop sentinel — closes the wave
-        being collected and runs after it commits.
+        being collected and runs after it commits.  Unsharded services run
+        one instance over the single queue; sharded services run one per
+        shard lane (*shard_id* names the shard the lane serves).
         """
-        queue = self._queue
         loop = asyncio.get_running_loop()
         while True:
             admission = await queue.get()
@@ -362,21 +609,25 @@ class INCService:
                 barrier = admission
 
             if wave:
-                await self._run_wave(loop, wave)
+                await self._run_wave(loop, wave, shard_id=shard_id)
             if barrier is not None:
                 if barrier.kind == "stop":
                     barrier.future.set_result(None)
                     return
                 await self._run_barrier(loop, barrier)
 
-    async def _run_wave(self, loop, wave: List[_Admission]) -> None:
+    async def _run_wave(self, loop, wave: List[_Admission],
+                        shard_id: Optional[str] = None) -> None:
         requests = [admission.request for admission in wave]
+        if shard_id is not None:
+            # shard lane: the wave runs on the shard's own pipeline and
+            # worker pool, holding only that shard's commit lock
+            run = partial(self.coordinator.deploy_wave, shard_id, requests)
+        else:
+            run = partial(self.controller.deploy_many, requests,
+                          workers=self.workers)
         try:
-            reports = await loop.run_in_executor(
-                None,
-                partial(self.controller.deploy_many, requests,
-                        workers=self.workers),
-            )
+            reports = await loop.run_in_executor(None, run)
         except Exception as exc:  # defensive: deploy_many captures per-request
             for admission in wave:
                 if not admission.future.done():
@@ -394,35 +645,42 @@ class INCService:
         """Run one barrier operation (remove/update/fail/drain) serially."""
         try:
             if admission.kind == "remove":
-                result = await loop.run_in_executor(
-                    None,
-                    partial(self.controller.remove, admission.name,
-                            lazy=admission.lazy),
-                )
-                self.stats.removed += 1
+                if self.coordinator is not None:
+                    run = partial(self.coordinator.remove, admission.name,
+                                  lazy=admission.lazy)
+                else:
+                    run = partial(self.controller.remove, admission.name,
+                                  lazy=admission.lazy)
+                result = await loop.run_in_executor(None, run)
+                if self.coordinator is None:
+                    self.stats.increment("removed")
             elif admission.kind == "update":
                 # routed through the runtime manager so its update counters
                 # stay consistent with the fail/drain accounting
-                result = await loop.run_in_executor(
-                    None,
-                    partial(self.controller.runtime().update_program,
-                            admission.name, **(admission.payload or {})),
-                )
-                self.stats.updates += 1
+                if self.coordinator is not None:
+                    run = partial(self.coordinator.update, admission.name,
+                                  **(admission.payload or {}))
+                else:
+                    run = partial(self.controller.runtime().update_program,
+                                  admission.name,
+                                  **(admission.payload or {}))
+                result = await loop.run_in_executor(None, run)
+                if self.coordinator is None:
+                    self.stats.increment("updates")
             elif admission.kind == "fail-device":
                 result = await loop.run_in_executor(
                     None,
                     partial(self.controller.runtime().fail_device,
                             admission.name),
                 )
-                self.stats.migrations += len(result.migrated)
+                self.stats.increment("migrations", len(result.migrated))
             elif admission.kind == "drain-device":
                 result = await loop.run_in_executor(
                     None,
                     partial(self.controller.runtime().drain_device,
                             admission.name),
                 )
-                self.stats.migrations += len(result.migrated)
+                self.stats.increment("migrations", len(result.migrated))
             else:  # pragma: no cover - defensive
                 raise DeploymentError(
                     f"unknown admission kind {admission.kind!r}"

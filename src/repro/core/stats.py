@@ -1,0 +1,69 @@
+"""Shared counter plumbing for the service, runtime and pool statistics.
+
+Every long-lived layer keeps a small dataclass of running integer counters
+(:class:`~repro.core.service.ServiceStats`,
+:class:`~repro.runtime.manager.RuntimeStats`, the pool counters of
+:class:`~repro.core.parallel.ParallelCompileService`).  They all update
+through :meth:`CounterMixin.increment` — one internal helper instead of
+ad-hoc ``stats.attr += 1`` scattered through the call sites — so a typo'd
+counter name fails loudly instead of silently creating a new attribute,
+and per-shard breakdowns (:class:`ShardCounters`) aggregate uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+__all__ = ["CounterMixin", "ShardCounters"]
+
+
+class CounterMixin:
+    """Increment declared integer counters by name, loudly.
+
+    Mixed into the stats dataclasses: ``stats.increment("removed")`` replaces
+    ``stats.removed += 1``.  Only pre-declared int fields may be bumped —
+    incrementing an unknown or non-integer attribute raises, which is the
+    point: a silent ``+= 1`` on a mistyped name would mint a new attribute
+    and the counter would never show up in any summary.
+    """
+
+    def increment(self, counter: str, by: int = 1) -> int:
+        current = getattr(self, counter, None)
+        if not isinstance(current, int) or isinstance(current, bool):
+            raise AttributeError(
+                f"{type(self).__name__} has no integer counter {counter!r}"
+            )
+        updated = current + int(by)
+        setattr(self, counter, updated)
+        return updated
+
+
+@dataclass
+class ShardCounters(CounterMixin):
+    """Per-shard controller activity, aggregated by the coordinator/service.
+
+    One instance per shard (plus one for the cross-shard coordinator role):
+    deployments and removals the shard committed by itself, cross-shard
+    commits it participated in, and prepares it voted to abort.
+    """
+
+    deploys: int = 0
+    removed: int = 0
+    #: cross-shard programs committed through a two-phase commit this shard
+    #: participated in (for the coordinator's own counters: drove)
+    cross_shard_commits: int = 0
+    #: cross-shard prepares aborted because this shard's allocation state
+    #: drifted from the epoch-tagged snapshot the plan was placed against
+    aborted_prepares: int = 0
+    #: programs migrated off this shard's devices by runtime events
+    migrations: int = 0
+
+    def summary(self) -> Dict[str, int]:
+        return {
+            "deploys": self.deploys,
+            "removed": self.removed,
+            "cross_shard_commits": self.cross_shard_commits,
+            "aborted_prepares": self.aborted_prepares,
+            "migrations": self.migrations,
+        }

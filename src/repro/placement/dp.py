@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Collection, Dict, List, Optional, Sequence, Tuple
 
 from repro.exceptions import PlacementConflictError, PlacementError
 from repro.ir.program import IRProgram
@@ -136,7 +136,8 @@ class DPPlacer:
         plan.topology_fingerprint = self.topology.allocation_fingerprint()
         plan.epoch = self.topology.allocation_epoch()
 
-    def validate(self, plan: PlacementPlan) -> List[str]:
+    def validate(self, plan: PlacementPlan,
+                 restrict: Optional[Collection[str]] = None) -> List[str]:
         """Names of consulted devices whose allocations changed since *plan*.
 
         An empty list means the plan is still exactly the one a sequential
@@ -147,16 +148,40 @@ class DPPlacer:
         against an older epoch (e.g. earlier commits of the same wave, or a
         worker snapshot).  Plans without fingerprints (hand-built, or from
         older cache entries) validate trivially.
+
+        With *restrict*, only the named devices are checked — the shard
+        prepare phase of a cross-shard two-phase commit validates a plan
+        against each touched shard's own device set (this placer's topology
+        being the shard view), ignoring consulted devices that belong to
+        other shards.  Consulted devices unknown to this placer's topology
+        are skipped for the same reason.
         """
-        if plan.epoch is not None and plan.epoch == self.topology.allocation_epoch():
-            return []
+        if restrict is None:
+            if (plan.epoch is not None
+                    and plan.epoch == self.topology.allocation_epoch()):
+                return []
         if plan.device_fingerprints:
-            live = self.topology.device_fingerprints(plan.device_fingerprints)
-            return sorted(
-                name for name, fingerprint in plan.device_fingerprints.items()
+            known = self.topology.devices
+            selected = {
+                name: fingerprint
+                for name, fingerprint in plan.device_fingerprints.items()
+                if name in known and (restrict is None or name in restrict)
+            }
+            live = self.topology.device_fingerprints(selected)
+            conflicts = sorted(
+                name for name, fingerprint in selected.items()
                 if live.get(name) != fingerprint
             )
-        if plan.topology_fingerprint is not None:
+            if restrict is None and len(selected) < len(plan.device_fingerprints):
+                # consulted devices this topology has never heard of cannot
+                # be revalidated here — flag them rather than committing a
+                # plan whose world we can only partially see
+                conflicts.extend(sorted(
+                    name for name in plan.device_fingerprints
+                    if name not in known
+                ))
+            return conflicts
+        if plan.topology_fingerprint is not None and restrict is None:
             if self.topology.allocation_fingerprint() != plan.topology_fingerprint:
                 return ["<topology>"]
         return []

@@ -61,6 +61,12 @@ class PlacementPlan:
     #: epoch at commit time short-circuits validation (nothing can have
     #: changed); a changed epoch falls back to the fingerprint comparison.
     epoch: Optional[int] = None
+    #: Per-shard allocation epochs for cross-shard plans: ``shard id ->
+    #: shard-view epoch`` at speculative-placement time.  A shard whose
+    #: view epoch is unchanged at prepare time can vote to commit with one
+    #: integer comparison; a changed epoch falls back to the fingerprint
+    #: sweep restricted to that shard's devices.
+    shard_epochs: Dict[str, int] = field(default_factory=dict)
 
     # ------------------------------------------------------------------ #
     # queries

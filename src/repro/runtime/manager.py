@@ -38,6 +38,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.core.pipeline import DeployRequest
+from repro.core.stats import CounterMixin
 from repro.exceptions import DeploymentError
 from repro.runtime.events import (
     DEVICE_DOWN,
@@ -84,8 +85,13 @@ class MigrationReport:
 
 
 @dataclass
-class RuntimeStats:
-    """Running counters of the runtime layer's activity."""
+class RuntimeStats(CounterMixin):
+    """Running counters of the runtime layer's activity.
+
+    Updated exclusively through
+    :meth:`~repro.core.stats.CounterMixin.increment`, never by ad-hoc
+    attribute arithmetic at the call sites.
+    """
 
     migrations: int = 0
     migrated_programs: int = 0
@@ -252,9 +258,9 @@ class RuntimeManager:
         try:
             report = self.controller.update_program(name, **kwargs)
         except Exception:
-            self.stats.failed_updates += 1
+            self.stats.increment("failed_updates")
             raise
-        self.stats.updates += 1
+        self.stats.increment("updates")
         return report
 
     # ------------------------------------------------------------------ #
@@ -270,7 +276,7 @@ class RuntimeManager:
 
     def _on_event(self, event: TopologyEvent) -> None:
         if event.kind == DEVICE_OVERLOAD:
-            self.stats.overload_events += 1
+            self.stats.increment("overload_events")
             return
         if (self._in_explicit_op or not self.auto_migrate
                 or not event.needs_migration()):
@@ -328,7 +334,7 @@ class RuntimeManager:
                 report.rolled_back = True
                 report.error = f"{owner}: removal failed: {exc}"
                 report.duration_s = time.perf_counter() - start
-                self.stats.rollbacks += 1
+                self.stats.increment("rollbacks")
                 self._log(report)
                 return report
             removed.append(owner)
@@ -365,7 +371,7 @@ class RuntimeManager:
             report.rolled_back = True
             report.error = failure
             report.duration_s = time.perf_counter() - start
-            self.stats.rollbacks += 1
+            self.stats.increment("rollbacks")
             self._log(report)
             return report
 
@@ -377,8 +383,8 @@ class RuntimeManager:
 
         report.migrated = replaced
         report.duration_s = time.perf_counter() - start
-        self.stats.migrations += 1
-        self.stats.migrated_programs += len(replaced)
+        self.stats.increment("migrations")
+        self.stats.increment("migrated_programs", len(replaced))
         self._log(report)
         return report
 

@@ -1,0 +1,691 @@
+"""The shard coordinator: routing, cross-shard 2PC, runtime escalation.
+
+The :class:`ShardCoordinator` is the control-plane scale-out story: it
+partitions a fabric into regions (:mod:`repro.topology.partition`), runs
+one :class:`~repro.sharding.shard.ControllerShard` per region — each with
+its own plan cache, worker pool and runtime manager — and keeps the whole
+thing serial-equivalent with a deliberately small commit protocol:
+
+* **Intra-shard programs** (all traffic endpoints in one region) compile,
+  place and commit entirely inside their shard, holding only that shard's
+  commit lock — shards proceed in parallel with no global lock.
+* **Cross-shard programs** go through a **two-phase commit**: the
+  speculative phase compiles and places commit-free against an
+  epoch-tagged snapshot of every touched shard's allocation state (no
+  locks held); the prepare phase then takes exactly the touched shards'
+  locks in deterministic order and asks each shard to validate the plan
+  against its own devices — an unchanged ``(shard, epoch)`` stamp is a
+  one-integer yes vote, a drifted shard triggers the fingerprint sweep
+  restricted to its view.  Any conflict **aborts** the speculative plan —
+  nothing was committed, so the abort leaves no residue by construction —
+  and the commit wave falls back to a serial re-place under the held
+  locks, which is exactly what the equivalent serial schedule would have
+  produced.  The commit wave itself is the pipeline's existing
+  validate-or-replace machinery (:meth:`CompilationPipeline
+  .commit_speculative_result`), so the cross-shard path adds protocol, not
+  new commit code.
+* **Runtime events** route to the shards that can see the subject device
+  (one shard for region-local devices, every shard for border devices);
+  untouched shards see no migration work, no epoch bumps and no cache
+  invalidation.  A migration the owning shard cannot re-place inside its
+  own view **escalates to the coordinator**, which retries on the full
+  fabric — the program becomes coordinator-owned (cross-shard) if that
+  succeeds.
+
+Because every shard view shares ``Device`` objects with the full-fabric
+topology the coordinator's own controller uses, resource accounting needs
+no reconciliation: a commit anywhere is immediately visible to every
+placement that can see the device.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.controller import ClickINC
+from repro.core.parallel import SpeculativeResult
+from repro.core.pipeline import DeployRequest, PipelineReport
+from repro.core.service import ServiceStats
+from repro.exceptions import DeploymentError
+from repro.runtime.manager import MigrationReport
+from repro.sharding.shard import ControllerShard
+from repro.synthesis.incremental import SynthesisDelta
+from repro.topology.network import NetworkTopology
+from repro.topology.partition import PartitionMap, partition_by_pod
+
+__all__ = ["ShardCoordinator", "ShardedEventReport", "CROSS_SHARD"]
+
+#: Owner tag for programs committed through the cross-shard path.
+CROSS_SHARD = "<cross-shard>"
+
+
+@dataclass
+class ShardedEventReport:
+    """Outcome of one fabric event (fail/drain) across the shards it hit."""
+
+    kind: str
+    subject: str
+    #: per-shard migration outcomes, only for shards that see the device
+    shard_reports: Dict[str, MigrationReport] = field(default_factory=dict)
+    #: migration of coordinator-owned (cross-shard) programs
+    cross_report: Optional[MigrationReport] = None
+    #: programs a shard could not re-place inside its own view that the
+    #: coordinator successfully re-homed on the full fabric
+    escalated: List[str] = field(default_factory=list)
+
+    def migrated(self) -> List[str]:
+        """Every program that ended up on new devices, coordinator-wide."""
+        moved: List[str] = []
+        for report in self.shard_reports.values():
+            moved.extend(report.migrated)
+        if self.cross_report is not None:
+            moved.extend(self.cross_report.migrated)
+        moved.extend(self.escalated)
+        return sorted(set(moved))
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "kind": self.kind,
+            "subject": self.subject,
+            "shards": {sid: report.summary()
+                       for sid, report in sorted(self.shard_reports.items())},
+            "cross": (self.cross_report.summary()
+                      if self.cross_report is not None else None),
+            "escalated": list(self.escalated),
+            "migrated": self.migrated(),
+        }
+
+
+class ShardCoordinator:
+    """Partitioned controller shards plus the cross-shard commit protocol.
+
+    Parameters
+    ----------
+    topology:
+        The full fabric.  Shard views are derived from it and share its
+        ``Device``/``Link`` objects.
+    partition:
+        An explicit :class:`PartitionMap`; defaults to
+        :func:`partition_by_pod` (one shard per pod, cores on the border —
+        degenerating to a single whole-fabric shard on unlabelled
+        topologies).
+    shard_workers:
+        Per-shard process-pool width for speculative compile waves.
+    controller_kwargs:
+        Forwarded to every shard's (and the coordinator's own)
+        :class:`ClickINC` controller.
+    """
+
+    def __init__(self, topology: NetworkTopology,
+                 partition: Optional[PartitionMap] = None, *,
+                 shard_workers: int = 1, **controller_kwargs) -> None:
+        self.topology = topology
+        self.partition = partition or partition_by_pod(topology)
+        views = self.partition.shard_views(topology)
+        self.shards: Dict[str, ControllerShard] = {
+            shard_id: ControllerShard(shard_id, view, workers=shard_workers,
+                                      **controller_kwargs)
+            for shard_id, view in views.items()
+        }
+        #: the coordinator's own full-fabric controller: cross-shard
+        #: programs compile, commit and run through it
+        self.inter = ClickINC(topology, **controller_kwargs)
+        self.stats = ServiceStats()
+        # one counter bag per shard, shared between the shard object and the
+        # coordinator's per-shard breakdown — incremented exactly once
+        for shard_id, shard in self.shards.items():
+            self.stats.per_shard[shard_id] = shard.stats
+        #: program name -> owning shard id, or :data:`CROSS_SHARD`
+        self._owner: Dict[str, str] = {}
+        self._registry_lock = threading.Lock()
+        #: serialises every mutation of the coordinator's own full-fabric
+        #: controller (two cross-shard commits touching *disjoint* shard
+        #: sets would otherwise race on the shared ``inter`` synthesizer /
+        #: emulator).  Always acquired *before* any shard lock, and never
+        #: from intra-shard paths, so the global acquisition order
+        #: (inter lock -> sorted shard locks) stays deadlock-free.
+        self._inter_lock = threading.RLock()
+        #: test hook: called between the speculative phase and the prepare
+        #: phase of a cross-shard commit (the window in which a concurrent
+        #: intra-shard commit forces an aborted prepare)
+        self._pre_prepare_hook = None
+
+    # ------------------------------------------------------------------ #
+    # routing
+    # ------------------------------------------------------------------ #
+    def shards_for_request(self, request: DeployRequest) -> List[str]:
+        """Sorted shard ids the request's traffic endpoints touch.
+
+        Raises :class:`~repro.exceptions.TopologyError` for unknown host
+        groups or groups hanging off border devices; the deploy entry
+        points catch that and report it per-request (:meth:`_route`).
+        """
+        groups = list(request.source_groups) + [request.destination_group]
+        return self.partition.regions_of_groups(self.topology, groups)
+
+    @staticmethod
+    def _failed_report(name: str, error: str,
+                       stage: str = "validation") -> PipelineReport:
+        report = PipelineReport(program_name=name)
+        report.succeeded = False
+        report.error = error
+        report.failed_stage = stage
+        return report
+
+    def _route(self, request: DeployRequest):
+        """``(touched shards, None)`` or ``(None, failed report)``.
+
+        Un-routable requests (unknown host groups, groups on the border)
+        fail like any other bad request — captured in a report, never
+        raised — so one of them cannot abort a whole batch.
+        """
+        try:
+            return self.shards_for_request(request), None
+        except Exception as exc:
+            return None, self._failed_report(request.resolved_name(),
+                                             str(exc))
+
+    def owner_of(self, name: str) -> Optional[str]:
+        """The shard owning *name*, :data:`CROSS_SHARD`, or None."""
+        return self._owner.get(name)
+
+    def controller_for(self, name: str) -> ClickINC:
+        """The controller actually hosting a deployed program."""
+        owner = self._owner.get(name)
+        if owner is None:
+            raise DeploymentError(f"program {name!r} is not deployed")
+        if owner == CROSS_SHARD:
+            return self.inter
+        return self.shards[owner].controller
+
+    def shards_seeing_device(self, device: str) -> List[str]:
+        """Sorted ids of every shard whose view contains *device*."""
+        return sorted(sid for sid, shard in self.shards.items()
+                      if shard.sees_device(device))
+
+    @contextmanager
+    def _locks(self, shard_ids: Sequence[str]):
+        """Hold the commit locks of *shard_ids*, acquired in sorted order.
+
+        Deterministic ordering is the deadlock-freedom argument: every
+        multi-shard operation acquires the same global order, so two
+        overlapping lock sets can never wait on each other cyclically.
+        """
+        acquired: List[ControllerShard] = []
+        try:
+            for shard_id in sorted(set(shard_ids)):
+                shard = self.shards[shard_id]
+                shard.lock.acquire()
+                acquired.append(shard)
+            yield
+        finally:
+            for shard in reversed(acquired):
+                shard.lock.release()
+
+    def _claim(self, name: str) -> Optional[str]:
+        """Reserve *name* coordinator-wide; returns an error string if taken."""
+        with self._registry_lock:
+            if name in self._owner:
+                return f"program {name!r} is already deployed"
+            self._owner[name] = "<pending>"
+            return None
+
+    def _resolve_claim(self, name: str, owner: Optional[str]) -> None:
+        """Finalise (owner given) or release (None) a pending claim."""
+        with self._registry_lock:
+            if owner is None:
+                self._owner.pop(name, None)
+            else:
+                self._owner[name] = owner
+
+    # ------------------------------------------------------------------ #
+    # deployment
+    # ------------------------------------------------------------------ #
+    def deploy(self, request: DeployRequest) -> PipelineReport:
+        """Deploy one request, routed to its shard or the cross-shard path.
+
+        Failures are captured in the returned report (``succeeded=False``,
+        ``error``, ``failed_stage``), exactly as in ``deploy_many``.
+        """
+        touched, route_error = self._route(request)
+        if route_error is not None:
+            return route_error
+        if len(touched) == 1:
+            return self.deploy_wave(touched[0], [request])[0]
+        return self._deploy_cross_claimed(request, touched)
+
+    def _deploy_cross_claimed(self, request: DeployRequest,
+                              touched: Sequence[str]) -> PipelineReport:
+        """Claim the name, run the 2PC, settle (or release) the claim."""
+        name = request.resolved_name()
+        claim_error = self._claim(name)
+        if claim_error is not None:
+            return self._failed_report(name, claim_error)
+        try:
+            report = self._deploy_cross(request, touched)
+        except Exception:
+            self._resolve_claim(name, None)
+            raise
+        self._resolve_claim(name, CROSS_SHARD if report.succeeded else None)
+        return report
+
+    def deploy_wave(self, shard_id: str, requests: Sequence[DeployRequest]
+                    ) -> List[PipelineReport]:
+        """Deploy one shard's wave: claim names, dispatch, settle ownership.
+
+        The caller has already routed *requests* to *shard_id* (all traffic
+        endpoints inside that region).  Holding only the shard's own commit
+        lock, the wave runs through the shard's pipeline and worker pool —
+        concurrently with every other shard's waves.  Reports come back in
+        request order; duplicates of an already-deployed name fail at the
+        ``validation`` stage without dispatch.
+        """
+        requests = list(requests)
+        reports: List[Optional[PipelineReport]] = [None] * len(requests)
+        dispatch: List[int] = []
+        for index, request in enumerate(requests):
+            name = request.resolved_name()
+            claim_error = self._claim(name)
+            if claim_error is not None:
+                reports[index] = self._failed_report(name, claim_error)
+            else:
+                dispatch.append(index)
+        if dispatch:
+            wave = [requests[i] for i in dispatch]
+            settled: List[str] = []
+            try:
+                for i, report in zip(dispatch,
+                                     self.shards[shard_id].deploy_many(wave)):
+                    reports[i] = report
+                    self._resolve_claim(
+                        report.program_name,
+                        shard_id if report.succeeded else None,
+                    )
+                    settled.append(report.program_name)
+            finally:
+                # a dispatch crash must not strand '<pending>' claims —
+                # they would block the names forever
+                leftover = {requests[i].resolved_name()
+                            for i in dispatch} - set(settled)
+                for name in leftover:
+                    self._resolve_claim(name, None)
+        return reports  # type: ignore[return-value]
+
+    def deploy_many(self, requests: Sequence[DeployRequest],
+                    parallel_shards: bool = True) -> List[PipelineReport]:
+        """Deploy a batch: per-shard waves in parallel, then cross-shard.
+
+        Requests are grouped by owning shard; each group runs as one wave
+        through its shard's own pipeline (and worker pool), concurrently
+        with the other shards' waves — the commit phases hold only their
+        own shard's lock.  Requests spanning shards run afterwards, in
+        request order, through the two-phase commit.  Reports come back in
+        request order; per-request failures are captured, not raised.
+        """
+        requests = list(requests)
+        reports: List[Optional[PipelineReport]] = [None] * len(requests)
+        by_shard: Dict[str, List[int]] = {}
+        cross: List[tuple] = []                  # (index, touched shards)
+        for index, request in enumerate(requests):
+            touched, route_error = self._route(request)
+            if route_error is not None:
+                reports[index] = route_error
+            elif len(touched) == 1:
+                by_shard.setdefault(touched[0], []).append(index)
+            else:
+                cross.append((index, touched))
+
+        def run_shard_wave(shard_id: str, indices: List[int]) -> None:
+            wave = [requests[i] for i in indices]
+            for i, report in zip(indices, self.deploy_wave(shard_id, wave)):
+                reports[i] = report
+
+        if parallel_shards and len(by_shard) > 1:
+            from concurrent.futures import ThreadPoolExecutor
+
+            with ThreadPoolExecutor(max_workers=len(by_shard)) as pool:
+                futures = [
+                    pool.submit(run_shard_wave, shard_id, indices)
+                    for shard_id, indices in by_shard.items()
+                ]
+                for future in futures:
+                    future.result()
+        else:
+            for shard_id, indices in by_shard.items():
+                run_shard_wave(shard_id, indices)
+
+        for index, touched in cross:
+            reports[index] = self._deploy_cross_claimed(requests[index],
+                                                        touched)
+
+        self.stats.record_wave(
+            len(requests),
+            failures=sum(1 for r in reports if r is not None and not r.succeeded),
+        )
+        return reports  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------ #
+    # the cross-shard two-phase commit
+    # ------------------------------------------------------------------ #
+    def _deploy_cross(self, request: DeployRequest,
+                      touched: Sequence[str]) -> PipelineReport:
+        """Speculative place → per-shard prepare → atomic commit wave."""
+        started = time.perf_counter()
+        pipeline = self.inter.pipeline
+        report = PipelineReport(program_name=request.resolved_name())
+
+        # phase 1 (no locks): pure compile + commit-free placement against
+        # an epoch-tagged snapshot of every touched shard's allocations
+        try:
+            program, records = pipeline.compile_stages(request)
+        except Exception as exc:
+            result = SpeculativeResult(
+                index=0, error=str(exc),
+                failed_stage=getattr(exc, "pipeline_stage", "frontend"),
+                via="cross-shard",
+            )
+        else:
+            result = SpeculativeResult(index=0, program=program,
+                                       records=records, via="cross-shard")
+            # the epoch snapshot is taken BEFORE the search: the search
+            # reads the live shared topology lock-free, so only an epoch
+            # unchanged across the whole search window proves no touched
+            # shard committed mid-search (post-search fingerprints alone
+            # could match live values the search never saw)
+            shard_epochs = {shard_id: self.shards[shard_id].allocation_epoch()
+                            for shard_id in touched}
+            try:
+                plan = self.inter.placer.place(
+                    pipeline.placement_request(program, request)
+                )
+            except Exception as exc:
+                # advisory: the commit wave re-places under the locks
+                result.error = str(exc)
+                result.failed_stage = "placement"
+            else:
+                plan.shard_epochs = shard_epochs
+                result.plan = plan
+
+        if self._pre_prepare_hook is not None:
+            self._pre_prepare_hook()
+
+        # phase 2 (inter lock + touched shards' locks only): validate-or-
+        # abort prepare, then the commit wave.  Untouched shards keep
+        # committing throughout.
+        with self._inter_lock, self._locks(touched):
+            if result.plan is not None:
+                conflicts = self._prepare(result.plan, touched)
+                if conflicts:
+                    # abort the speculative plan.  Nothing has been
+                    # committed anywhere, so the abort leaves every shard's
+                    # allocation state and plan cache untouched by
+                    # construction; the commit wave below re-places
+                    # serially under the held locks instead.
+                    self.stats.increment("aborted_prepares")
+                    for shard_id in conflicts:
+                        self.shards[shard_id].stats.increment("aborted_prepares")
+                    result.plan = None
+            report = pipeline.commit_speculative_result(
+                request, result, report, started
+            )
+            if report.succeeded:
+                self.inter.deployed[report.program_name] = report.deployed
+                self.stats.increment("cross_shard_commits")
+                for shard_id in touched:
+                    self.shards[shard_id].stats.increment("cross_shard_commits")
+        return report
+
+    def _prepare(self, plan, touched: Sequence[str]) -> Dict[str, List[str]]:
+        """Ask every touched shard to vote on *plan*: commit or abort.
+
+        The vote is one integer comparison per shard: the shard view's
+        live allocation epoch against the plan's ``(shard, epoch)`` stamp,
+        which was taken **before** the speculative search started.  Equal
+        epochs prove nothing in the shard changed across the whole search
+        window, so the plan is exactly what a serial placement under the
+        held locks would produce.  Any drift is an abort — the epoch may
+        have moved for a device the plan never consulted, but the search
+        read live shared state, so a mid-search commit could have fed it a
+        mix of pre- and post-commit views that post-hoc fingerprints
+        cannot distinguish; aborting is the cheap, checkable answer (the
+        commit wave just re-places under the locks).  The fingerprint
+        sweep restricted to the shard's devices
+        (:meth:`DPPlacer.validate`) only *names* the drifted devices for
+        the abort record.  Returns ``shard id -> drifted devices`` — empty
+        means every shard voted to commit.
+        """
+        conflicts: Dict[str, List[str]] = {}
+        for shard_id in sorted(touched):
+            shard = self.shards[shard_id]
+            if plan.shard_epochs.get(shard_id) == shard.allocation_epoch():
+                continue
+            changed = shard.controller.placer.validate(
+                plan, restrict=set(shard.view.devices)
+            )
+            conflicts[shard_id] = changed or ["<epoch>"]
+        return conflicts
+
+    # ------------------------------------------------------------------ #
+    # removal
+    # ------------------------------------------------------------------ #
+    def remove(self, name: str, lazy: bool = True) -> SynthesisDelta:
+        """Remove a program from whichever controller hosts it."""
+        owner = self._owner.get(name)
+        if owner is None or owner == "<pending>":
+            raise DeploymentError(f"program {name!r} is not deployed")
+        if owner != CROSS_SHARD:
+            delta = self.shards[owner].remove(name, lazy=lazy)
+            self.stats.increment("removed")
+            with self._registry_lock:
+                self._owner.pop(name, None)
+            return delta
+        deployed = self.inter.deployed.get(name)
+        used = deployed.devices() if deployed is not None else []
+        touched = sorted({
+            shard_id for device in used
+            for shard_id in self.shards_seeing_device(device)
+        })
+        with self._inter_lock, self._locks(touched):
+            delta = self.inter.remove(name, lazy=lazy)
+            # the release restored allocation states the shards' plan caches
+            # may have stamped entries against before the cross-shard commit;
+            # those can no longer validate, so evict them shard-locally too
+            for shard_id in touched:
+                shard = self.shards[shard_id]
+                shard.controller.cache.prune_stale_plans(
+                    shard.view.device_fingerprints(),
+                    devices=[d for d in used if shard.sees_device(d)],
+                )
+        self.stats.increment("removed")
+        with self._registry_lock:
+            self._owner.pop(name, None)
+        return delta
+
+    # ------------------------------------------------------------------ #
+    # rolling updates
+    # ------------------------------------------------------------------ #
+    def update(self, name: str, **kwargs) -> PipelineReport:
+        """Atomically swap a program's version on its owning controller."""
+        owner = self._owner.get(name)
+        if owner is None or owner == "<pending>":
+            raise DeploymentError(f"program {name!r} is not deployed")
+        if owner != CROSS_SHARD:
+            report = self.shards[owner].update(name, **kwargs)
+        else:
+            deployed = self.inter.deployed[name]
+            touched = sorted({
+                shard_id for device in deployed.devices()
+                for shard_id in self.shards_seeing_device(device)
+            })
+            with self._inter_lock, self._locks(touched):
+                report = self.inter.runtime().update_program(name, **kwargs)
+        self.stats.increment("updates")
+        return report
+
+    # ------------------------------------------------------------------ #
+    # runtime event routing
+    # ------------------------------------------------------------------ #
+    def fail_device(self, name: str) -> ShardedEventReport:
+        """Fail a device: route migration to the shards that see it.
+
+        Each shard seeing the device migrates its own programs inside its
+        view; coordinator-owned (cross-shard) programs migrate through the
+        full-fabric controller; shards that cannot see the device do no
+        work at all — no migrations, no epoch bumps, no cache
+        invalidation.  A shard migration that rolls back (no capacity left
+        inside the view) escalates to the coordinator, which re-homes the
+        affected programs on the full fabric.
+        """
+        return self._device_event(name, kind="fail", state_lost=True)
+
+    def drain_device(self, name: str) -> ShardedEventReport:
+        """Drain a device for maintenance; register/table state is kept."""
+        return self._device_event(name, kind="drain", state_lost=False)
+
+    def restore_device(self, name: str) -> bool:
+        """Bring a failed/drained device back, refreshing every watcher."""
+        changed = False
+        with self._inter_lock, self._locks(self.shards_seeing_device(name)):
+            for shard_id in self.shards_seeing_device(name):
+                changed = (self.shards[shard_id].runtime().restore_device(name)
+                           or changed)
+            # always refresh the inter controller's monitor too: a shard's
+            # restore already flipped the shared device, and a stale inter
+            # baseline would re-report the recovery on its next poll()
+            changed = self.inter.runtime().restore_device(name) or changed
+        return changed
+
+    def _device_event(self, name: str, kind: str,
+                      state_lost: bool) -> ShardedEventReport:
+        seeing = self.shards_seeing_device(name)
+        if not seeing and name not in self.topology.devices:
+            raise DeploymentError(f"unknown device {name!r}")
+        event = ShardedEventReport(kind=kind, subject=name)
+        # migration *work* routes to the shards seeing the device, but the
+        # lock set is every shard: re-placing a cross-shard program (and
+        # escalation) searches the full fabric, so it may allocate on
+        # devices of shards that never see the failed one — committing
+        # there without their lock would race their intra-shard waves.
+        # Untouched shards are only paused, never worked: no migrations,
+        # no epoch bumps, no cache invalidation.
+        with self._inter_lock, self._locks(self.shards):
+            for shard_id in seeing:
+                manager = self.shards[shard_id].runtime()
+                report = (manager.fail_device(name) if state_lost
+                          else manager.drain_device(name))
+                event.shard_reports[shard_id] = report
+            inter_manager = self.inter.runtime()
+            event.cross_report = (
+                inter_manager.fail_device(name) if state_lost
+                else inter_manager.drain_device(name)
+            )
+            for shard_id in seeing:
+                report = event.shard_reports[shard_id]
+                if report.rolled_back and report.affected:
+                    event.escalated.extend(
+                        self._escalate(shard_id, report, name, state_lost)
+                    )
+        migrated = event.migrated()
+        self.stats.increment("migrations", len(migrated))
+        for shard_id in seeing:
+            self.shards[shard_id].stats.increment(
+                "migrations", len(event.shard_reports[shard_id].migrated)
+            )
+        return event
+
+    def _escalate(self, shard_id: str, report: MigrationReport,
+                  subject: str, state_lost: bool) -> List[str]:
+        """Re-home programs a shard could not re-place inside its view.
+
+        The shard rolled its migration back, so every affected program is
+        committed exactly as before the event (possibly still occupying the
+        failed device).  For each one, remove it from the shard and retry
+        placement on the coordinator's full-fabric controller — devices the
+        shard view cannot see may still have capacity and paths.  On
+        success the program becomes coordinator-owned; on failure the
+        shard's rolled-back state is reinstalled unchanged.
+        """
+        shard = self.shards[shard_id]
+        escalated: List[str] = []
+        for owner in list(report.affected):
+            deployed = shard.controller.deployed.get(owner)
+            if deployed is None:
+                continue
+            request = DeployRequest(
+                source_groups=list(deployed.source_groups),
+                destination_group=deployed.destination_group,
+                name=owner,
+                program=deployed.plan.block_dag.program,
+                traffic_rates=dict(deployed.traffic_rates)
+                if deployed.traffic_rates else None,
+            )
+            snapshot = shard.controller.emulator.snapshot_owner_state(
+                owner, skip_devices=(subject,) if state_lost else ()
+            )
+            shard.controller.remove(owner)
+            try:
+                run_report = self.inter.pipeline.run(request)
+            except Exception:
+                # the full fabric cannot host it either: restore the
+                # shard's rolled-back committed state untouched
+                shard.controller.pipeline.reinstall(deployed)
+                shard.controller.deployed[owner] = deployed
+                shard.controller.emulator.restore_owner_state(owner, snapshot)
+                continue
+            self.inter.deployed[owner] = run_report.deployed
+            self.inter.emulator.restore_owner_state(owner, snapshot)
+            with self._registry_lock:
+                self._owner[owner] = CROSS_SHARD
+            escalated.append(owner)
+        return escalated
+
+    # ------------------------------------------------------------------ #
+    # traffic + inspection
+    # ------------------------------------------------------------------ #
+    def run_traffic(self, name: str, packets, **kwargs):
+        """Run packets through the emulator of the controller hosting
+        *name* (each controller emulates the programs it committed)."""
+        return self.controller_for(name).run_traffic(packets, **kwargs)
+
+    def deployed_programs(self) -> List[str]:
+        with self._registry_lock:
+            return sorted(n for n, o in self._owner.items()
+                          if o != "<pending>")
+
+    def placement_summary(self, name: str) -> Dict[str, object]:
+        return self.controller_for(name).placement_summary(name)
+
+    def coordinator_summary(self) -> Dict[str, object]:
+        """Coordinator-wide counters plus every shard's breakdown."""
+        summary = self.stats.summary()
+        summary["shards"] = {shard_id: shard.summary()
+                             for shard_id, shard in sorted(self.shards.items())}
+        summary["cross_shard_programs"] = sum(
+            1 for owner in self._owner.values() if owner == CROSS_SHARD
+        )
+        return summary
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Release every shard's worker pool and the coordinator's own."""
+        for shard in self.shards.values():
+            shard.close()
+        self.inter.close()
+
+    def __enter__(self) -> "ShardCoordinator":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardCoordinator(shards={sorted(self.shards)}, "
+            f"programs={len(self.deployed_programs())})"
+        )

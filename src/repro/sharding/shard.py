@@ -1,0 +1,166 @@
+"""One controller shard: a full ClickINC stack over a shard-local view.
+
+A :class:`ControllerShard` owns everything the whole-fabric controller owns
+— compiler, DP placer, incremental synthesizer, emulator, artifact/plan
+cache, persistent worker pool, runtime manager — but scoped to one
+partition region's view of the topology
+(:meth:`~repro.topology.network.NetworkTopology.subview`).  Because the
+view shares ``Device``/``Link`` objects with the parent fabric, resource
+accounting is globally consistent with zero coordination; because the
+view's allocation epoch covers only the shard's own (plus border) devices,
+commits in *other* shards never invalidate this shard's plan cache or
+speculative placements.
+
+Every mutation of shared state goes through :attr:`lock` — the shard's
+commit lock.  Intra-shard work only ever takes its own lock, so shards
+proceed in parallel; a cross-shard two-phase commit takes the locks of
+every shard it touches (in deterministic order), making it a barrier for
+exactly those shards and nobody else.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.controller import ClickINC
+from repro.core.pipeline import DeployRequest, PipelineReport
+from repro.core.stats import ShardCounters
+from repro.synthesis.incremental import SynthesisDelta
+from repro.topology.network import NetworkTopology
+
+__all__ = ["ControllerShard"]
+
+
+class ControllerShard:
+    """A per-region controller: own pipeline, caches, pool and runtime.
+
+    Parameters
+    ----------
+    shard_id:
+        The partition region this shard serves (e.g. ``"pod0"``).
+    view:
+        The shard-local topology view (region devices + shared border).
+    workers:
+        Process-pool width for this shard's speculative compile waves.
+    controller_kwargs:
+        Forwarded to the shard's :class:`ClickINC` controller.
+    """
+
+    def __init__(self, shard_id: str, view: NetworkTopology, *,
+                 workers: int = 1, **controller_kwargs) -> None:
+        self.shard_id = shard_id
+        self.view = view
+        self.workers = max(1, int(workers))
+        self.controller = ClickINC(view, **controller_kwargs)
+        #: the shard's commit lock: intra-shard waves hold it for their
+        #: commit phase, cross-shard prepares take it for the 2PC window
+        self.lock = threading.RLock()
+        self.stats = ShardCounters()
+
+    # ------------------------------------------------------------------ #
+    # device / group membership
+    # ------------------------------------------------------------------ #
+    def device_names(self) -> List[str]:
+        """Every device visible to this shard (own region + border)."""
+        return list(self.view.devices)
+
+    def sees_device(self, name: str) -> bool:
+        return name in self.view.devices
+
+    def owns_group(self, group: str) -> bool:
+        return group in self.view.host_groups
+
+    def allocation_epoch(self) -> int:
+        """The shard-scoped allocation epoch (view devices only)."""
+        return self.view.allocation_epoch()
+
+    # ------------------------------------------------------------------ #
+    # intra-shard operations (serialised on the shard's own lock only)
+    # ------------------------------------------------------------------ #
+    def deploy(self, request: DeployRequest) -> PipelineReport:
+        """Deploy one intra-shard request through the shard's pipeline."""
+        with self.lock:
+            report = self.controller.pipeline.run(request)
+            self.controller.deployed[report.program_name] = report.deployed
+            self.stats.increment("deploys")
+            return report
+
+    def deploy_many(self, requests: Sequence[DeployRequest],
+                    workers: Optional[int] = None) -> List[PipelineReport]:
+        """Deploy a batch of intra-shard requests (shard-local wave).
+
+        The pure compile + speculative placement phase runs on the shard's
+        own persistent worker pool *outside* the commit lock — the plans
+        are validated (and re-placed on conflict) by the commit phase, so
+        mid-compile commits by a cross-shard 2PC or a device event are
+        harmless.  Only the commit phase holds the shard lock, which keeps
+        it exactly the window cross-shard prepares ever wait on.
+        """
+        requests = list(requests)
+        workers = self.workers if workers is None else max(1, int(workers))
+        pipeline = self.controller.pipeline
+        if workers > 1 and requests:
+            started = time.perf_counter()
+            with self.lock:
+                service = pipeline.parallel_service(workers)
+            results = service.compile_batch(requests)
+            reports = []
+            with self.lock:
+                for request, result in zip(requests, results):
+                    report = PipelineReport(
+                        program_name=request.resolved_name()
+                    )
+                    pipeline.commit_speculative_result(
+                        request, result, report, started
+                    )
+                    if report.succeeded:
+                        self.controller.deployed[report.program_name] = (
+                            report.deployed
+                        )
+                    reports.append(report)
+        else:
+            with self.lock:
+                reports = self.controller.deploy_many(requests,
+                                                      workers=workers)
+        self.stats.increment(
+            "deploys", sum(1 for r in reports if r.succeeded)
+        )
+        return reports
+
+    def remove(self, name: str, lazy: bool = True) -> SynthesisDelta:
+        with self.lock:
+            delta = self.controller.remove(name, lazy=lazy)
+            self.stats.increment("removed")
+            return delta
+
+    def update(self, name: str, **kwargs) -> PipelineReport:
+        with self.lock:
+            return self.controller.runtime().update_program(name, **kwargs)
+
+    def runtime(self, auto_migrate: Optional[bool] = None):
+        return self.controller.runtime(auto_migrate=auto_migrate)
+
+    # ------------------------------------------------------------------ #
+    # observability / lifecycle
+    # ------------------------------------------------------------------ #
+    def deployed_programs(self) -> List[str]:
+        return self.controller.deployed_programs()
+
+    def summary(self) -> Dict[str, object]:
+        summary: Dict[str, object] = dict(self.stats.summary())
+        summary["programs"] = len(self.controller.deployed)
+        summary["devices"] = len(self.view.devices)
+        summary["epoch"] = self.view.allocation_epoch()
+        return summary
+
+    def close(self) -> None:
+        self.controller.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"ControllerShard({self.shard_id!r}, "
+            f"devices={len(self.view.devices)}, "
+            f"programs={len(self.controller.deployed)})"
+        )

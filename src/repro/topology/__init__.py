@@ -8,6 +8,11 @@ client-side / server-side trees the placement DP operates on.
 
 from repro.topology.network import NetworkTopology, HostGroup, Link
 from repro.topology.fattree import build_fattree, build_paper_emulation_topology
+from repro.topology.partition import (
+    PartitionMap,
+    partition_by_pod,
+    whole_fabric_partition,
+)
 from repro.topology.spineleaf import build_spineleaf
 from repro.topology.equivalence import (
     EquivalenceClass,
@@ -24,6 +29,9 @@ __all__ = [
     "build_fattree",
     "build_paper_emulation_topology",
     "build_spineleaf",
+    "PartitionMap",
+    "partition_by_pod",
+    "whole_fabric_partition",
     "EquivalenceClass",
     "compute_equivalence_classes",
     "ReducedNode",

@@ -9,6 +9,7 @@ uses to find the devices INC programs can occupy.
 from __future__ import annotations
 
 import hashlib
+import weakref
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence
 
@@ -69,6 +70,11 @@ class NetworkTopology:
         self.bypass: Dict[str, str] = {}   # switch name -> attached accelerator name
         self._fingerprint_cache: tuple = (-1, "")
         self._forwarding_cache: tuple = (-1, None)
+        # shard-view bookkeeping: views share Device/Link objects with the
+        # root topology, but each instance owns its graph structure, so
+        # structural removals must propagate (see remove_link / subview)
+        self._view_root = None                      # weakref to the root
+        self._subviews: List = []                   # weakrefs to views
 
     # ------------------------------------------------------------------ #
     # construction
@@ -185,12 +191,34 @@ class NetworkTopology:
         what placement and routing can rely on), so the allocation epoch
         advances and fingerprint caches are invalidated.  Returns the
         removed :class:`Link`.
+
+        Status flips stay consistent across shard views automatically (the
+        :class:`Link` object is shared), but each view owns its *graph*
+        structure — so the removal is propagated to the root topology and
+        every registered view that contains the edge, keeping routing and
+        placement consistent no matter which instance the operator called.
         """
         link = self.link(a, b)
-        self.graph.remove_edge(a, b)
+        for topo in self._view_family():
+            if topo.graph.has_edge(a, b):
+                topo.graph.remove_edge(a, b)
         self.device(a).bump_topology_version()
         self.device(b).bump_topology_version()
         return link
+
+    def _view_family(self) -> List["NetworkTopology"]:
+        """This topology's root plus every live registered shard view."""
+        root = self
+        if self._view_root is not None:
+            resolved = self._view_root()
+            if resolved is not None:
+                root = resolved
+        family = [root]
+        family.extend(
+            view for ref in root._subviews
+            if (view := ref()) is not None
+        )
+        return family
 
     def down_devices(self) -> List[str]:
         """Names of devices currently failed (status ``"down"``)."""
@@ -377,6 +405,85 @@ class NetworkTopology:
         """Overwrite named devices' allocations with a shipped snapshot."""
         for name, state in states.items():
             self.device(name).set_allocation_state(state)
+
+    # ------------------------------------------------------------------ #
+    # shard-local views (controller sharding)
+    # ------------------------------------------------------------------ #
+    def subview(self, name: str, device_names: Iterable[str],
+                host_groups: Optional[Iterable[str]] = None
+                ) -> "NetworkTopology":
+        """A shard-local view over a subset of this topology's devices.
+
+        The view is a real :class:`NetworkTopology` — path enumeration,
+        placement, fingerprints and epochs all work on it — but it *shares*
+        the underlying :class:`Device` and :class:`Link` objects with the
+        parent (and with sibling views that include the same border
+        devices).  Allocations, status flips and version bumps are therefore
+        globally consistent: a commit on a shared core device advances the
+        allocation epoch of every view containing it, while commits on
+        devices outside the view leave its epoch — and every fingerprint
+        derived from it — untouched.  That scoping is what lets one
+        controller shard per view run without a global lock.
+
+        *host_groups* defaults to every group whose ToR is in the view.
+        """
+        selected = set(device_names)
+        unknown = selected - set(self.devices)
+        if unknown:
+            raise TopologyError(
+                f"subview {name!r}: unknown devices {sorted(unknown)}"
+            )
+        view = NetworkTopology(name=name)
+        for dev_name, device in self.devices.items():
+            if dev_name not in selected:
+                continue
+            view.devices[dev_name] = device
+            view.layers[dev_name] = self.layers[dev_name]
+            view.pods[dev_name] = self.pods[dev_name]
+            view.graph.add_node(dev_name, device=device,
+                                layer=self.layers[dev_name],
+                                pod=self.pods[dev_name])
+        for a, b, data in self.graph.edges(data=True):
+            if a in selected and b in selected:
+                view.graph.add_edge(a, b, link=data["link"])
+        for switch, accel in self.bypass.items():
+            if switch in selected and accel in selected:
+                view.bypass[switch] = accel
+        if host_groups is None:
+            groups = [g for g in self.host_groups.values()
+                      if g.tor in selected]
+        else:
+            groups = []
+            for group_name in host_groups:
+                group = self.host_group(group_name)
+                if group.tor not in selected:
+                    raise TopologyError(
+                        f"subview {name!r}: host group {group_name!r} hangs "
+                        f"off {group.tor!r}, which is not in the view"
+                    )
+                groups.append(group)
+        for group in groups:
+            view.host_groups[group.name] = group
+        # register the view with the family root so structural removals
+        # (remove_link) propagate to every instance sharing the devices
+        root = self._view_family()[0]
+        view._view_root = weakref.ref(root)
+        root._subviews = [ref for ref in root._subviews if ref() is not None]
+        root._subviews.append(weakref.ref(view))
+        return view
+
+    def __getstate__(self) -> Dict[str, object]:
+        """Drop the weakref view links on pickle (worker-pool snapshots).
+
+        A pickled topology is a point-in-time snapshot for a worker
+        process; it neither receives nor propagates structural changes, so
+        the view family does not survive the trip (weakrefs cannot be
+        pickled anyway).
+        """
+        state = self.__dict__.copy()
+        state["_view_root"] = None
+        state["_subviews"] = []
+        return state
 
     def reset_resources(self) -> None:
         """Release every allocation on every device (between experiments)."""

@@ -97,6 +97,103 @@ class TestNetworkTopology:
         replica.apply_allocation_states(states)
         assert replica.device_fingerprints() == topo.device_fingerprints()
 
+    def test_fingerprint_delta_across_multiple_epoch_bumps(self):
+        """A delta accumulates every device touched since *base*, no matter
+        how many epoch bumps happened in between."""
+        topo = build_chain(4)
+        base = topo.device_fingerprints()
+        epoch0 = topo.allocation_epoch()
+        topo.device("SW1").allocate_stage(0, {"alu": 3.0})
+        topo.device("SW1").alloc_version += 1
+        epoch1 = topo.allocation_epoch()
+        assert epoch1 > epoch0
+        topo.device("SW3").allocate_stage(0, {"alu": 2.0})
+        topo.device("SW3").alloc_version += 1
+        topo.device("SW1").allocate_stage(1, {"alu": 1.0})
+        topo.device("SW1").alloc_version += 1
+        assert topo.allocation_epoch() > epoch1  # >= 2 bumps past base
+        assert topo.fingerprint_delta(base) == ["SW1", "SW3"]
+
+    def test_fingerprint_delta_after_remove_link_and_status_change(self):
+        """remove_link + set_device_status on the same device show up once
+        in the delta (and both bump its fingerprint)."""
+        topo = build_chain(4)
+        base = topo.device_fingerprints()
+        topo.remove_link("SW1", "SW2")
+        assert topo.fingerprint_delta(base) == ["SW1", "SW2"]
+        topo.set_device_status("SW1", "drain")
+        # SW1 changed twice (topology version + status) but is named once
+        assert topo.fingerprint_delta(base) == ["SW1", "SW2"]
+        # a replica synced from the delta converges on the same fingerprints
+        replica = build_chain(4)
+        replica.remove_link("SW1", "SW2")
+        replica.apply_allocation_states(
+            topo.allocation_states(topo.fingerprint_delta(base))
+        )
+        assert (replica.device_fingerprints()["SW1"]
+                == topo.device_fingerprints()["SW1"])
+
+    def test_fingerprint_delta_equals_fresh_snapshot(self):
+        """An empty delta is exactly 'base == a fresh full snapshot'."""
+        topo = build_chain(3)
+        base = topo.device_fingerprints()
+        topo.device("SW0").allocate_stage(0, {"alu": 4.0})
+        topo.device("SW0").alloc_version += 1
+        topo.set_device_status("SW2", "down")
+        fresh = topo.device_fingerprints()
+        delta = topo.fingerprint_delta(base)
+        assert delta == sorted(
+            name for name in fresh if fresh[name] != base[name]
+        )
+        # re-snapshotting yields an empty delta against the fresh snapshot
+        assert topo.fingerprint_delta(fresh) == []
+        assert topo.device_fingerprints() == fresh
+
+
+class TestSubview:
+    def test_subview_shares_devices_and_links(self):
+        topo = build_fattree(k=4)
+        view = topo.subview("pod0", ["ToR0_0", "ToR0_1", "Agg0_0", "Agg0_1"])
+        assert view.devices["ToR0_0"] is topo.devices["ToR0_0"]
+        assert view.link("ToR0_0", "Agg0_0") is topo.link("ToR0_0", "Agg0_0")
+        assert sorted(view.host_groups) == ["pod0(a)", "pod0(b)"]
+        # intra-view paths work without the rest of the fabric
+        paths = view.paths_between_groups("pod0(a)", "pod0(b)")
+        assert paths == topo.paths_between_groups("pod0(a)", "pod0(b)")
+
+    def test_subview_epoch_scoped_to_view_devices(self):
+        topo = build_fattree(k=4)
+        view = topo.subview("pod0", ["ToR0_0", "ToR0_1", "Agg0_0", "Agg0_1"])
+        epoch = view.allocation_epoch()
+        topo.device("ToR1_0").alloc_version += 1      # outside the view
+        assert view.allocation_epoch() == epoch
+        topo.device("Agg0_0").alloc_version += 1      # inside the view
+        assert view.allocation_epoch() == epoch + 1
+
+    def test_remove_link_propagates_across_view_family(self):
+        topo = build_fattree(k=4)
+        view = topo.subview("pod0", ["ToR0_0", "ToR0_1", "Agg0_0", "Agg0_1"])
+        sibling = topo.subview("pod0b", ["ToR0_0", "Agg0_0"])
+        # removal on the parent disappears from every registered view
+        topo.remove_link("ToR0_0", "Agg0_0")
+        assert not view.graph.has_edge("ToR0_0", "Agg0_0")
+        assert not sibling.graph.has_edge("ToR0_0", "Agg0_0")
+        # and removal on a view propagates back to the parent + siblings
+        view.remove_link("ToR0_0", "Agg0_1")
+        assert not topo.graph.has_edge("ToR0_0", "Agg0_1")
+        # views stay picklable (worker-pool snapshots drop the weakrefs)
+        import pickle
+
+        clone = pickle.loads(pickle.dumps(view))
+        assert not clone.graph.has_edge("ToR0_0", "Agg0_0")
+
+    def test_subview_rejects_unknown_devices_and_foreign_groups(self):
+        topo = build_fattree(k=4)
+        with pytest.raises(TopologyError):
+            topo.subview("bad", ["ToR0_0", "ghost"])
+        with pytest.raises(TopologyError):
+            topo.subview("bad", ["ToR0_0"], host_groups=["pod1(a)"])
+
 
 class TestBuilders:
     def test_fattree_counts(self):
