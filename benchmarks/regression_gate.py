@@ -28,9 +28,22 @@ non-zero when
   on machines with the cores to back it — multi-shard intra-pod deploy
   throughput stops exceeding single-shard (``min_sharded_speedup``).
 
+``--suite scaling`` instead runs the fabric-scale placement benchmark
+(:mod:`benchmarks.bench_fig14_scaling` ``run_scaling``) and fails when
+
+* the scenario shrinks below ``min_scaling_devices`` (the >= 1000-device
+  fat-tree the incremental-DP work targets),
+* the cold solve exceeds ``max_cold_solve_s``,
+* a warm placer's re-place after a single-device delta is less than
+  ``min_incremental_speedup`` times faster than the cold solve,
+* the incremental plan stops being byte-identical to the cold plan, or
+  the warm run stops hitting the cross-epoch memo at all.
+
 Usage (from the repository root, with ``PYTHONPATH=src``)::
 
     python benchmarks/regression_gate.py --output BENCH_pipeline.json
+    python benchmarks/regression_gate.py --suite scaling \\
+        --output BENCH_scaling.json
 """
 
 from __future__ import annotations
@@ -55,6 +68,7 @@ from benchmarks.bench_parallel_deploy import (  # noqa: E402
 from benchmarks.bench_runtime_migration import (  # noqa: E402
     run_all as run_runtime_migration,
 )
+from benchmarks.bench_fig14_scaling import run_scaling  # noqa: E402
 from benchmarks.bench_sharded_scaling import (  # noqa: E402
     MIN_CORES as SHARDED_MIN_CORES,
     run_all as run_sharded_scaling,
@@ -118,6 +132,65 @@ def measure() -> dict:
         ),
         "cross_shard_commit_s": round(cross["commit_s"], 4),
     }
+
+
+def measure_scaling(reduced: bool = True) -> dict:
+    result = run_scaling(reduced=reduced)
+    warm = result["warm_counters"]
+    return {
+        "generated_unix_time": int(time.time()),
+        "scaling_reduced_workload": bool(result["reduced"]),
+        "scaling_devices": result["devices"],
+        "scaling_fattree_k": result["fattree_k"],
+        "scaling_warmup_s": round(result["warmup_s"], 4),
+        "scaling_cold_solve_s": round(result["cold_solve_s"], 4),
+        "scaling_incremental_s": round(result["incremental_s"], 4),
+        "scaling_incremental_speedup": round(result["incremental_speedup"], 3),
+        "scaling_identical_plan": bool(result["identical_plan"]),
+        "scaling_interval_memo_hits": warm["interval_memo_hits"],
+        "scaling_interval_evals": warm["interval_evals"],
+        "scaling_subtree_memo_hits": warm["subtree_memo_hits"],
+        "scaling_device_checks_warm": warm["device_checks"],
+        "scaling_device_checks_cold": result["cold_counters"]["device_checks"],
+    }
+
+
+def check_scaling(measured: dict, baseline: dict) -> list:
+    failures = []
+    min_devices = int(baseline.get("min_scaling_devices", 1000))
+    if measured["scaling_devices"] < min_devices:
+        failures.append(
+            f"the fabric-scale scenario covers only"
+            f" {measured['scaling_devices']} devices (needs"
+            f" >= {min_devices}) — it no longer exercises fabric scale"
+        )
+    max_cold = float(baseline.get("max_cold_solve_s", 60.0))
+    if measured["scaling_cold_solve_s"] > max_cold:
+        failures.append(
+            f"the cold solve took {measured['scaling_cold_solve_s']:.2f}s on"
+            f" a {measured['scaling_devices']}-device fat-tree (must stay"
+            f" below {max_cold:.0f}s)"
+        )
+    min_speedup = float(baseline.get("min_incremental_speedup", 5.0))
+    if measured["scaling_incremental_speedup"] < min_speedup:
+        failures.append(
+            f"the incremental re-place after a single-device delta is only"
+            f" {measured['scaling_incremental_speedup']:.2f}x faster than the"
+            f" cold solve (needs >= {min_speedup:.1f}x:"
+            f" cold {measured['scaling_cold_solve_s']:.3f}s,"
+            f" incremental {measured['scaling_incremental_s']:.3f}s)"
+        )
+    if not measured["scaling_identical_plan"]:
+        failures.append(
+            "the incremental plan diverged from the cold plan — the"
+            " cross-epoch memo returned a stale or unsound sub-solution"
+        )
+    if measured["scaling_interval_memo_hits"] < 1:
+        failures.append(
+            "the warm re-place never hit the cross-epoch interval memo —"
+            " incremental placement is silently solving from scratch"
+        )
+    return failures
 
 
 def check(measured: dict, baseline: dict) -> list:
@@ -249,23 +322,41 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "--output",
-        default="BENCH_pipeline.json",
-        help="where to write the measured numbers (CI artifact)",
+        default=None,
+        help="where to write the measured numbers (default: BENCH_<suite>.json)",
     )
     parser.add_argument(
         "--baseline",
         default=str(DEFAULT_BASELINE),
         help="committed baseline numbers to gate against",
     )
+    parser.add_argument(
+        "--suite",
+        choices=("pipeline", "scaling"),
+        default="pipeline",
+        help="pipeline: deploy/service/migration/sharding; scaling: fabric-scale",
+    )
+    parser.add_argument(
+        "--full-workload",
+        action="store_true",
+        help="scaling suite: full workload instead of the CI-sized reduced one",
+    )
     args = parser.parse_args(argv)
 
-    measured = measure()
-    Path(args.output).write_text(json.dumps(measured, indent=2) + "\n")
-    print(f"wrote {args.output}:")
+    if args.suite == "scaling":
+        measured = measure_scaling(reduced=not args.full_workload)
+    else:
+        measured = measure()
+    output = args.output or f"BENCH_{args.suite}.json"
+    Path(output).write_text(json.dumps(measured, indent=2) + "\n")
+    print(f"wrote {output}:")
     print(json.dumps(measured, indent=2))
 
     baseline = json.loads(Path(args.baseline).read_text())
-    failures = check(measured, baseline)
+    if args.suite == "scaling":
+        failures = check_scaling(measured, baseline)
+    else:
+        failures = check(measured, baseline)
     if failures:
         for failure in failures:
             print(f"REGRESSION: {failure}", file=sys.stderr)

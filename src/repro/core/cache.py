@@ -214,6 +214,11 @@ class ArtifactCache:
         keeping warm re-deploys warm), as are entries that never consulted
         the affected devices (disjoint tenants keep their warm plans).  With
         ``devices=None`` every stamped device is checked.
+
+        Callers on the remove/release path pair this with
+        :meth:`DPPlacer.prune_memo <repro.placement.dp.DPPlacer.prune_memo>`,
+        which applies the same device-driven eviction to the placer's
+        cross-epoch memo of DP sub-solutions.
         """
         affected = set(devices) if devices is not None else None
 

@@ -120,6 +120,9 @@ def _worker_apply_sync(sync: Optional[SyncPayload]) -> None:
         return
     topology = _WORKER_CONTEXT["topology"]
     topology.apply_allocation_states(states)
+    # the synced devices' fingerprints changed, so the worker placer's memo
+    # entries that consulted them can never hit again — drop them
+    _WORKER_CONTEXT["placer"].prune_memo(list(states))
     _WORKER_CONTEXT["epoch"] = epoch
 
 

@@ -547,7 +547,11 @@ class CompilationPipeline:
         evicted (:meth:`ArtifactCache.prune_stale_plans`): the capacity they
         assumed occupied is free again, so they can never validate against
         the live topology.  Entries that never consulted those devices, or
-        whose stamps match the restored state, are retained.
+        whose stamps match the restored state, are retained.  The placer's
+        cross-epoch memo is pruned the same way
+        (:meth:`DPPlacer.prune_memo <repro.placement.dp.DPPlacer.prune_memo>`)
+        so long-lived services don't accumulate sub-solutions for dead
+        programs.
         """
         delta = self.synthesizer.remove_program(name, lazy=lazy)
         try:
@@ -565,6 +569,7 @@ class CompilationPipeline:
             self.topology.device_fingerprints(),
             devices=deployed.plan.devices_used(),
         )
+        self.placer.prune_memo(deployed.plan.devices_used())
         return delta
 
     # ------------------------------------------------------------------ #

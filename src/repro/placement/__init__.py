@@ -23,7 +23,9 @@ from repro.placement.depgraph import DependencyGraph, build_dependency_graph
 from repro.placement.blocks import Block, BlockDAG, build_block_dag
 from repro.placement.objective import ObjectiveWeights, PlacementObjective
 from repro.placement.intra import IntraDeviceAllocator, StageAssignment
+from repro.placement.memo import PlacementMemo
 from repro.placement.plan import BlockAssignment, PlacementPlan
+from repro.placement.scoring import IntervalScorer
 from repro.placement.dp import DPPlacer, PlacementRequest
 from repro.placement.smt_baseline import ExhaustivePlacer
 from repro.placement.greedy import GreedySinglePathPlacer, ReplicateAllPlacer
@@ -39,7 +41,9 @@ __all__ = [
     "IntraDeviceAllocator",
     "StageAssignment",
     "BlockAssignment",
+    "PlacementMemo",
     "PlacementPlan",
+    "IntervalScorer",
     "DPPlacer",
     "PlacementRequest",
     "ExhaustivePlacer",

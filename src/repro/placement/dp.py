@@ -12,10 +12,38 @@ packet travels.  The DP state is therefore "how many blocks have been placed
 so far along every path through this node", and the recurrence tries every
 interval the current node could host, pruning intervals whose capability or
 resource requirements the node cannot satisfy (paper's constraint pruning).
+
+Fabric-scale search (ROADMAP item 3) adds three coordinated optimisations,
+all enabled by default and all provably plan-identical to the reference
+search (``DPPlacer(topology, optimize=False)``, asserted by the differential
+tests in ``tests/test_placement_scale.py``):
+
+* **incremental DP** — feasibility checks, interval gains and whole
+  sub-tree DP tables are memoised across ``place()`` calls in a
+  :class:`~repro.placement.memo.PlacementMemo`.  Keys are content-addressed
+  (program fingerprint + device allocation fingerprints), so after a single
+  device's allocation changes only the sub-solutions that consulted that
+  device miss; everything else replays from the memo.
+* **equivalence-class pruning** — symmetric sub-trees (e.g. the identical
+  pods of a fat-tree) share one DP solve: a recursive name-blind
+  :func:`~repro.topology.equivalence.subtree_signature` routes isomorphic
+  sub-trees to the same stored table, replayed through an ec-id
+  correspondence, so search cost grows with topology *shape* rather than
+  device count.
+* **vectorised scoring** — per-interval Eq. 1 gains come from
+  :class:`~repro.placement.scoring.IntervalScorer` rows (precomputed cut-bit
+  matrix + prefix sums, numpy when available) instead of per-interval O(E)
+  edge walks.
+
+Profiling hooks (:class:`~repro.core.profiling.PlacementProfile` on
+``DPPlacer.profile``) attribute wall-clock to search / scoring / validation
+stages and count memo hits, for the scaling benchmarks and CI summaries.
 """
 
 from __future__ import annotations
 
+import hashlib
+import itertools
 import time
 from dataclasses import dataclass, field
 from typing import Collection, Dict, List, Optional, Sequence, Tuple
@@ -24,9 +52,19 @@ from repro.exceptions import PlacementConflictError, PlacementError
 from repro.ir.program import IRProgram
 from repro.placement.blocks import Block, BlockDAG, build_block_dag
 from repro.placement.intra import IntraDeviceAllocator, StageAssignment
+from repro.placement.memo import INFEASIBLE, MISS, PlacementMemo
 from repro.placement.objective import ObjectiveWeights, PlacementObjective
 from repro.placement.plan import BlockAssignment, PlacementPlan
-from repro.topology.equivalence import ReducedNode, ReducedTree, build_reduced_tree
+from repro.placement.scoring import IntervalScorer
+from repro.topology.equivalence import (
+    ReducedNode,
+    ReducedTree,
+    build_reduced_tree,
+    node_content_key,
+    subtree_class_ids,
+    subtree_correspondence,
+    subtree_signature,
+)
 from repro.topology.network import NetworkTopology
 
 NEG_INF = float("-inf")
@@ -74,11 +112,250 @@ class _Candidate:
     # list of (ec_id, start_block_index, end_block_index) intervals
 
 
-class DPPlacer:
-    """ClickINC's dynamic-programming placement engine."""
+class _SearchContext:
+    """Per-``place()`` state of the optimised search path.
 
-    def __init__(self, topology: NetworkTopology) -> None:
+    Bundles the memo handle, the vectorised scorer, the profiling counters
+    and the per-call caches (node content digests, sub-tree signatures,
+    hoisted per-node objective weights, interval instruction lists and gain
+    rows).  ``ctx is None`` throughout the DP methods selects the reference
+    path, which recomputes everything from scratch exactly like the seed
+    implementation.
+    """
+
+    def __init__(self, placer: "DPPlacer", block_dag: BlockDAG,
+                 ordered_blocks: List[Block], objective: PlacementObjective,
+                 request: PlacementRequest) -> None:
+        from repro.core.cache import fingerprint_ir  # local: avoids an
+        # import cycle (repro.core.__init__ imports the controller, which
+        # imports this module)
+
+        self.topology = placer.topology
+        self.memo = placer.memo
+        self.counters = placer.profile.counters
+        self.block_dag = block_dag
+        self.ordered_blocks = ordered_blocks
+        self.num_blocks = len(ordered_blocks)
+        self.objective = objective
+        self.request = request
+        self.scorer = IntervalScorer(block_dag, ordered_blocks, objective)
+        # The context digest pins everything a sub-solution's value depends
+        # on besides the devices it consulted: the (name-normalised) program
+        # and block parameters determine the intervals' content, and the
+        # objective's normalisation constants / weight mode determine how an
+        # interval's gain is computed from that content.
+        context = (
+            fingerprint_ir(request.program, normalize_name=True),
+            request.max_block_size if request.use_blocks else 1,
+            bool(request.use_blocks),
+            bool(request.adaptive_weights),
+            bool(request.prune),
+            repr(objective.total_resource_units),
+            repr(objective.total_transfer_bits),
+            repr(objective.base_weights),
+        )
+        self.context_digest = hashlib.sha256(
+            repr(context).encode("utf-8")
+        ).hexdigest()[:32]
+        self._signatures: Dict[int, str] = {}
+        self._node_digests: Dict[int, str] = {}
+        self._node_weights: Dict[int, ObjectiveWeights] = {}
+        self._node_devices: Dict[int, Tuple[list, list]] = {}
+        self._rows: Dict[Tuple[int, int], List[float]] = {}
+        self._instructions: Dict[Tuple[int, int], list] = {}
+        # per-place overlay over the cross-epoch memo: the root join loop
+        # re-evaluates the same (node, interval) for thousands of child
+        # combinations, and a plain dict probe is much cheaper than the
+        # LRU-maintaining memo lookup
+        self._local_evals: Dict[Tuple[int, int, int], Optional[float]] = {}
+
+    # -- per-node caches ---------------------------------------------------
+    def node_devices(self, node: ReducedNode) -> Tuple[list, list]:
+        cached = self._node_devices.get(id(node))
+        if cached is None:
+            cached = (
+                [self.topology.device(name) for name in node.ec.members],
+                [self.topology.device(name) for name in node.bypass],
+            )
+            self._node_devices[id(node)] = cached
+        return cached
+
+    def node_weights(self, node: ReducedNode) -> ObjectiveWeights:
+        # device allocations are frozen during the commit-free search, so
+        # the adaptive weights are a per-node constant and can be hoisted
+        weights = self._node_weights.get(id(node))
+        if weights is None:
+            devices, _ = self.node_devices(node)
+            weights = self.objective.current_weights(devices)
+            self._node_weights[id(node)] = weights
+        return weights
+
+    def node_digest(self, node: ReducedNode) -> str:
+        digest = self._node_digests.get(id(node))
+        if digest is None:
+            digest = hashlib.sha256(
+                repr(node_content_key(node, self.topology)).encode("utf-8")
+            ).hexdigest()[:32]
+            self._node_digests[id(node)] = digest
+        return digest
+
+    def subtree_digest(self, node: ReducedNode) -> str:
+        return subtree_signature(node, self.topology, self._signatures)
+
+    def subtree_device_names(self, node: ReducedNode) -> List[str]:
+        names: List[str] = []
+        seen = set()
+        for sub in node.iter_nodes():
+            for name in itertools.chain(sub.ec.members, sub.bypass):
+                if name not in seen:
+                    seen.add(name)
+                    names.append(name)
+        return names
+
+    # -- interval machinery ------------------------------------------------
+    def instructions(self, start: int, end: int) -> list:
+        cached = self._instructions.get((start, end))
+        if cached is None:
+            program = self.block_dag.program
+            cached = [
+                instr
+                for block in self.ordered_blocks[start:end]
+                for instr in block.instructions(program)
+            ]
+            self._instructions[(start, end)] = cached
+        return cached
+
+    def gain(self, node: ReducedNode, start: int, end: int) -> float:
+        row = self._rows.get((id(node), start))
+        if row is None:
+            devices, _ = self.node_devices(node)
+            row = self.scorer.gain_row(
+                start,
+                served_fraction=(
+                    node.traffic_share if node.side != "root" else 1.0
+                ),
+                weights=self.node_weights(node),
+                replicas=len(devices),
+                end_lo=start,
+                end_hi=self.num_blocks + 1,
+            )
+            self._rows[(id(node), start)] = row
+            self.counters.increment("score_rows")
+        self.counters.increment("scored_intervals")
+        return row[end - start]
+
+    def device_feasible(self, device, start: int, end: int) -> bool:
+        """Memoised Algorithm 2 feasibility for one device and interval."""
+        self.counters.increment("device_checks")
+        key = (self.context_digest, start, end, device.dev_type,
+               device.allocation_fingerprint())
+        cached = self.memo.lookup_device(key)
+        if cached is not MISS:
+            self.counters.increment("device_memo_hits")
+            return bool(cached)
+        assignment = IntraDeviceAllocator(device).allocate(
+            self.block_dag.program, self.instructions(start, end)
+        )
+        feasible = assignment is not None
+        self.memo.store_device(key, feasible, (device.name,))
+        return feasible
+
+    def eval_interval(self, node: ReducedNode, start: int,
+                      end: int) -> Optional[float]:
+        """Memoised gain of hosting blocks [start, end) on *node*."""
+        local_key = (id(node), start, end)
+        if local_key in self._local_evals:
+            return self._local_evals[local_key]
+        result = self._eval_interval_memo(node, start, end)
+        self._local_evals[local_key] = result
+        return result
+
+    def _eval_interval_memo(self, node: ReducedNode, start: int,
+                            end: int) -> Optional[float]:
+        self.counters.increment("interval_evals")
+        key = (self.context_digest, self.node_digest(node), start, end)
+        cached = self.memo.lookup_interval(key)
+        if cached is not MISS:
+            self.counters.increment("interval_memo_hits")
+            return None if cached is INFEASIBLE else cached
+        devices, bypass_devices = self.node_devices(node)
+        consulted = [d.name for d in devices] + [b.name for b in bypass_devices]
+        for device in devices:
+            feasible = self.device_feasible(device, start, end)
+            if not feasible and bypass_devices:
+                # fall back to the bypass accelerator attached to this switch
+                feasible = any(
+                    self.device_feasible(bypass, start, end)
+                    for bypass in bypass_devices
+                )
+            if not feasible:
+                self.memo.store_interval(key, INFEASIBLE, consulted)
+                return None
+        gain = self.gain(node, start, end)
+        self.memo.store_interval(key, gain, consulted)
+        return gain
+
+    # -- sub-tree table reuse ----------------------------------------------
+    def table_key(self, side: str, node: ReducedNode) -> Tuple:
+        return (side, self.context_digest, self.subtree_digest(node))
+
+    def remap_table(self, stored_ids: Sequence[str],
+                    stored_table: Dict[int, _Candidate],
+                    node: ReducedNode) -> Optional[Dict[int, _Candidate]]:
+        """Replay a stored table onto an isomorphic sub-tree.
+
+        Equal sub-tree signatures guarantee position-wise content equality
+        of the DFS pre-orders, so every stored gain/interval carries over
+        verbatim and only the equivalence-class ids need rewriting.  Returns
+        ``None`` (caller solves from scratch) when the correspondence is
+        not a clean bijection — correctness never depends on reuse.
+        """
+        mapping = subtree_correspondence(stored_ids, node)
+        if mapping is None:
+            return None
+        remapped: Dict[int, _Candidate] = {}
+        for index, candidate in stored_table.items():
+            try:
+                assignments = [
+                    (mapping[ec_id], start, end)
+                    for ec_id, start, end in candidate.assignments
+                ]
+            except KeyError:
+                return None
+            remapped[index] = _Candidate(gain=candidate.gain,
+                                         assignments=assignments)
+        return remapped
+
+
+class DPPlacer:
+    """ClickINC's dynamic-programming placement engine.
+
+    Parameters
+    ----------
+    topology:
+        The (possibly shard-view) topology to place against.
+    memo:
+        Cross-epoch :class:`~repro.placement.memo.PlacementMemo`; a private
+        one is created when omitted.  Shared placer instances (controller,
+        service waves, runtime migrations) therefore share warm sub-solutions
+        automatically.
+    optimize:
+        ``False`` selects the reference search path — no memoisation, no
+        symmetric sub-tree reuse, no vectorised scoring — used by the
+        differential tests as the ground truth the optimised path must match
+        byte-for-byte.
+    """
+
+    def __init__(self, topology: NetworkTopology,
+                 memo: Optional[PlacementMemo] = None,
+                 optimize: bool = True) -> None:
+        from repro.core.profiling import PlacementProfile  # local: avoids an
+        # import cycle through repro.core.__init__
+
         self.topology = topology
+        self.optimize = bool(optimize)
+        self.memo = memo if memo is not None else PlacementMemo()
+        self.profile = PlacementProfile()
 
     # ------------------------------------------------------------------ #
     # public API
@@ -96,22 +373,32 @@ class DPPlacer:
         Raises :class:`~repro.exceptions.PlacementError` when no feasible
         placement exists on the devices along the requested paths.
         """
+        timers = self.profile.timers
         start_time = time.perf_counter()
-        block_dag = build_block_dag(
-            request.program,
-            max_block_size=request.max_block_size if request.use_blocks else 1,
-            merge=request.use_blocks,
-        )
-        ordered_blocks = block_dag.topological_order()
-        tree = build_reduced_tree(
-            self.topology,
-            request.source_groups,
-            request.destination_group,
-            traffic_rates=request.traffic_rates,
-        )
+        with timers.stage("block_dag"):
+            block_dag = build_block_dag(
+                request.program,
+                max_block_size=request.max_block_size if request.use_blocks else 1,
+                merge=request.use_blocks,
+            )
+            ordered_blocks = block_dag.topological_order()
+        with timers.stage("reduce_tree"):
+            tree = build_reduced_tree(
+                self.topology,
+                request.source_groups,
+                request.destination_group,
+                traffic_rates=request.traffic_rates,
+            )
         objective = self._make_objective(block_dag, tree, request)
+        ctx = (
+            _SearchContext(self, block_dag, ordered_blocks, objective, request)
+            if self.optimize else None
+        )
 
-        candidate = self._solve(block_dag, ordered_blocks, tree, objective, request)
+        with timers.stage("search"):
+            candidate = self._solve(
+                block_dag, ordered_blocks, tree, objective, request, ctx
+            )
         if candidate is None or candidate.gain == NEG_INF:
             raise PlacementError(
                 f"no feasible placement for {request.program.name!r} on the "
@@ -120,10 +407,11 @@ class DPPlacer:
             )
 
         elapsed = time.perf_counter() - start_time
-        plan = self._materialise_plan(
-            block_dag, ordered_blocks, tree, candidate, request, elapsed
-        )
-        self._stamp_fingerprints(plan, tree)
+        with timers.stage("materialise"):
+            plan = self._materialise_plan(
+                block_dag, ordered_blocks, tree, candidate, request, elapsed
+            )
+            self._stamp_fingerprints(plan, tree)
         return plan
 
     def _stamp_fingerprints(self, plan: PlacementPlan, tree: ReducedTree) -> None:
@@ -156,6 +444,11 @@ class DPPlacer:
         other shards.  Consulted devices unknown to this placer's topology
         are skipped for the same reason.
         """
+        with self.profile.timers.stage("validate"):
+            return self._validate(plan, restrict)
+
+    def _validate(self, plan: PlacementPlan,
+                  restrict: Optional[Collection[str]] = None) -> List[str]:
         if restrict is None:
             if (plan.epoch is not None
                     and plan.epoch == self.topology.allocation_epoch()):
@@ -203,6 +496,7 @@ class DPPlacer:
                     f"devices {conflicts}; re-place against the live topology",
                     conflicts=conflicts,
                 )
+        touched = set()
         for assignment in plan.assignments:
             for device_name, stage_assignment in assignment.stage_assignments.items():
                 device = self.topology.device(device_name)
@@ -213,9 +507,13 @@ class DPPlacer:
                 )
                 # deployed_programs is part of the fingerprint payload
                 device.alloc_version += 1
+                touched.add(device_name)
+        if touched:
+            self.prune_memo(touched)
 
     def release(self, plan: PlacementPlan) -> None:
         """Release a previously committed plan's resources."""
+        touched = set()
         for assignment in plan.assignments:
             for device_name, stage_assignment in assignment.stage_assignments.items():
                 device = self.topology.device(device_name)
@@ -223,6 +521,42 @@ class DPPlacer:
                     device.release_stage(stage, demand)
                 device.deployed_programs.pop(plan.program_name, None)
                 device.alloc_version += 1
+                touched.add(device_name)
+        if touched:
+            self.prune_memo(touched)
+
+    # ------------------------------------------------------------------ #
+    # memo maintenance
+    # ------------------------------------------------------------------ #
+    def prune_memo(self, device_names: Collection[str]) -> int:
+        """Drop memo entries that consulted any of *device_names*.
+
+        The memo's keys are content-addressed, so this is a memory bound,
+        not a correctness requirement: entries keyed on a superseded
+        allocation fingerprint can never hit again.  Called internally by
+        :meth:`commit`/:meth:`release`, by the pipeline's ``remove`` path
+        alongside :meth:`ArtifactCache.prune_stale_plans
+        <repro.core.cache.ArtifactCache.prune_stale_plans>`, and by worker
+        re-syncs.  Returns the number of entries dropped.
+        """
+        removed = self.memo.prune_devices(device_names)
+        if removed:
+            self.profile.counters.increment("memo_pruned_entries", by=removed)
+        return removed
+
+    def sync_memo(self, base_fingerprints: Dict[str, str]) -> List[str]:
+        """Prune sub-solutions invalidated since *base_fingerprints*.
+
+        Computes :meth:`NetworkTopology.fingerprint_delta
+        <repro.topology.network.NetworkTopology.fingerprint_delta>` against
+        the given snapshot and prunes exactly the delta's devices, so after
+        a single-device change only sub-trees touching that device re-solve.
+        Returns the delta (the devices whose entries were dropped).
+        """
+        delta = self.topology.fingerprint_delta(base_fingerprints)
+        if delta:
+            self.prune_memo(delta)
+        return delta
 
     # ------------------------------------------------------------------ #
     # DP core
@@ -249,9 +583,11 @@ class DPPlacer:
 
     def _solve(self, block_dag: BlockDAG, ordered_blocks: List[Block],
                tree: ReducedTree, objective: PlacementObjective,
-               request: PlacementRequest) -> Optional[_Candidate]:
+               request: PlacementRequest,
+               ctx: Optional[_SearchContext] = None) -> Optional[_Candidate]:
         num_blocks = len(ordered_blocks)
         root = tree.root
+        counters = ctx.counters if ctx is not None else None
 
         client_children = [c for c in root.children if c.side == "client"]
         server_children = [c for c in root.children if c.side == "server"]
@@ -259,37 +595,68 @@ class DPPlacer:
         # DFS_DP over the client-side sub-tree: for each child of the root,
         # table[i] = best partial solution covering blocks [0, i) below it.
         client_tables: List[Dict[int, _Candidate]] = [
-            self._client_dp(child, block_dag, ordered_blocks, objective, request)
+            self._client_dp(child, block_dag, ordered_blocks, objective,
+                            request, ctx)
             for child in client_children
         ]
         # DFS_DP over the server-side sub-tree: table[j] = best solution
         # covering blocks [j, n) at and below the child.
         server_tables: List[Dict[int, _Candidate]] = [
-            self._server_dp(child, block_dag, ordered_blocks, objective, request)
+            self._server_dp(child, block_dag, ordered_blocks, objective,
+                            request, ctx)
             for child in server_children
         ]
 
         best: Optional[_Candidate] = None
         # combine: client children cover [0, i_c); root hosts [min_i, j);
-        # server children cover [j, n).
-        client_options: List[List[Tuple[int, _Candidate]]] = [
-            sorted(table.items()) for table in client_tables
-        ]
-        if not client_options:
-            client_options = [[(0, _Candidate(gain=0.0))]]
-        server_n = num_blocks
+        # server children cover [j, n).  The join only needs each client
+        # combination's minimum index, maximum index and gain total, so
+        # instead of enumerating the cartesian product of the child tables
+        # (exponential in the number of pods, and formerly capped — the cap
+        # could starve better combinations) the children are folded one at a
+        # time over the O(num_blocks^2) state space (i_min, i_max).  This is
+        # exact: per state it keeps the best achievable child-gain sum, and
+        # ties keep the first candidate in deterministic (sorted) order.
+        join_states: Optional[Dict[Tuple[int, int], _Candidate]] = None
+        for table in client_tables:
+            options = sorted(table.items())
+            if join_states is None:
+                join_states = {
+                    (index, index): _Candidate(
+                        gain=candidate.gain,
+                        assignments=list(candidate.assignments),
+                    )
+                    for index, candidate in options
+                }
+                continue
+            merged: Dict[Tuple[int, int], _Candidate] = {}
+            for (state_lo, state_hi), below in sorted(join_states.items()):
+                for index, candidate in options:
+                    key = (min(state_lo, index), max(state_hi, index))
+                    gain = below.gain + candidate.gain
+                    existing = merged.get(key)
+                    if existing is None or gain > existing.gain:
+                        merged[key] = _Candidate(
+                            gain=gain,
+                            assignments=below.assignments + candidate.assignments,
+                        )
+            join_states = merged
+        if join_states is None:
+            # no client children: the root must host the program from block 0
+            join_states = {(0, 0): _Candidate(gain=0.0)}
+        if counters is not None and join_states:
+            counters.increment("product_combos", by=len(join_states))
 
-        for combo in _product_limited(client_options):
-            i_values = [i for i, _ in combo]
-            i_min = min(i_values) if i_values else 0
-            below_gain = sum(c.gain for _, c in combo)
-            below_assignments = [a for _, c in combo for a in c.assignments]
+        for (i_min, i_max), below in sorted(join_states.items()):
+            below_gain = below.gain
+            below_assignments = below.assignments
             if below_gain == NEG_INF:
                 continue
-            for j in range(max(i_values) if i_values else 0, num_blocks + 1):
+            for j in range(i_max, num_blocks + 1):
                 root_interval = (i_min, j)
                 root_eval = self._evaluate_interval(
-                    root, root_interval, block_dag, ordered_blocks, objective, request
+                    root, root_interval, block_dag, ordered_blocks, objective,
+                    request, ctx
                 )
                 if root_eval is None:
                     continue
@@ -321,20 +688,47 @@ class DPPlacer:
 
     def _client_dp(self, node: ReducedNode, block_dag: BlockDAG,
                    ordered_blocks: List[Block], objective: PlacementObjective,
-                   request: PlacementRequest) -> Dict[int, _Candidate]:
-        """Bottom-up DP on the client sub-tree.
+                   request: PlacementRequest,
+                   ctx: Optional[_SearchContext] = None) -> Dict[int, _Candidate]:
+        """Bottom-up DP on the client sub-tree (memoised when ``ctx`` is set).
 
         Returns a table mapping "blocks [0, i) are covered at or below this
         node" to the best partial candidate.  Traffic flows leaf → root, so a
         node's own interval sits *after* its children's intervals.
         """
+        if ctx is not None:
+            table_key = ctx.table_key("client", node)
+            stored = ctx.memo.lookup_table(table_key)
+            if stored is not MISS:
+                remapped = ctx.remap_table(stored[0], stored[1], node)
+                if remapped is not None:
+                    ctx.counters.increment("subtree_memo_hits")
+                    return remapped
+            ctx.counters.increment("subtree_solves")
+        table = self._client_dp_table(
+            node, block_dag, ordered_blocks, objective, request, ctx
+        )
+        if ctx is not None:
+            ctx.memo.store_table(
+                table_key,
+                (subtree_class_ids(node), table),
+                ctx.subtree_device_names(node),
+            )
+        return table
+
+    def _client_dp_table(self, node: ReducedNode, block_dag: BlockDAG,
+                         ordered_blocks: List[Block],
+                         objective: PlacementObjective,
+                         request: PlacementRequest,
+                         ctx: Optional[_SearchContext]) -> Dict[int, _Candidate]:
         num_blocks = len(ordered_blocks)
         if not node.children:
             table: Dict[int, _Candidate] = {}
             for end in range(0, num_blocks + 1):
                 interval = (0, end)
                 result = self._evaluate_interval(
-                    node, interval, block_dag, ordered_blocks, objective, request
+                    node, interval, block_dag, ordered_blocks, objective,
+                    request, ctx
                 )
                 if result is None:
                     if request.prune:
@@ -346,11 +740,14 @@ class DPPlacer:
             return table
 
         child_tables = [
-            self._client_dp(child, block_dag, ordered_blocks, objective, request)
+            self._client_dp(child, block_dag, ordered_blocks, objective,
+                            request, ctx)
             for child in node.children
         ]
         table: Dict[int, _Candidate] = {}
-        for combo in _product_limited([sorted(t.items()) for t in child_tables]):
+        counters = ctx.counters if ctx is not None else None
+        for combo in _product_limited([sorted(t.items()) for t in child_tables],
+                                      counters=counters):
             i_values = [i for i, _ in combo]
             base_gain = sum(c.gain for _, c in combo)
             base_assignments = [a for _, c in combo for a in c.assignments]
@@ -359,7 +756,8 @@ class DPPlacer:
             for end in range(i_max, num_blocks + 1):
                 interval = (i_min, end)
                 result = self._evaluate_interval(
-                    node, interval, block_dag, ordered_blocks, objective, request
+                    node, interval, block_dag, ordered_blocks, objective,
+                    request, ctx
                 )
                 if result is None:
                     if request.prune:
@@ -377,16 +775,43 @@ class DPPlacer:
 
     def _server_dp(self, node: ReducedNode, block_dag: BlockDAG,
                    ordered_blocks: List[Block], objective: PlacementObjective,
-                   request: PlacementRequest) -> Dict[int, _Candidate]:
-        """Top-down DP on the server sub-tree.
+                   request: PlacementRequest,
+                   ctx: Optional[_SearchContext] = None) -> Dict[int, _Candidate]:
+        """Top-down DP on the server sub-tree (memoised when ``ctx`` is set).
 
         Returns a table mapping "traffic arrives at this node with blocks
         [0, j) already executed" to the best candidate that finishes the
         program at or below the node.
         """
+        if ctx is not None:
+            table_key = ctx.table_key("server", node)
+            stored = ctx.memo.lookup_table(table_key)
+            if stored is not MISS:
+                remapped = ctx.remap_table(stored[0], stored[1], node)
+                if remapped is not None:
+                    ctx.counters.increment("subtree_memo_hits")
+                    return remapped
+            ctx.counters.increment("subtree_solves")
+        table = self._server_dp_table(
+            node, block_dag, ordered_blocks, objective, request, ctx
+        )
+        if ctx is not None:
+            ctx.memo.store_table(
+                table_key,
+                (subtree_class_ids(node), table),
+                ctx.subtree_device_names(node),
+            )
+        return table
+
+    def _server_dp_table(self, node: ReducedNode, block_dag: BlockDAG,
+                         ordered_blocks: List[Block],
+                         objective: PlacementObjective,
+                         request: PlacementRequest,
+                         ctx: Optional[_SearchContext]) -> Dict[int, _Candidate]:
         num_blocks = len(ordered_blocks)
         child_tables = [
-            self._server_dp(child, block_dag, ordered_blocks, objective, request)
+            self._server_dp(child, block_dag, ordered_blocks, objective,
+                            request, ctx)
             for child in node.children
         ]
         table: Dict[int, _Candidate] = {}
@@ -395,7 +820,8 @@ class DPPlacer:
             for end in range(start, num_blocks + 1):
                 interval = (start, end)
                 result = self._evaluate_interval(
-                    node, interval, block_dag, ordered_blocks, objective, request
+                    node, interval, block_dag, ordered_blocks, objective,
+                    request, ctx
                 )
                 if result is None:
                     if request.prune:
@@ -436,13 +862,19 @@ class DPPlacer:
     def _evaluate_interval(self, node: ReducedNode, interval: Tuple[int, int],
                            block_dag: BlockDAG, ordered_blocks: List[Block],
                            objective: PlacementObjective,
-                           request: PlacementRequest
+                           request: PlacementRequest,
+                           ctx: Optional[_SearchContext] = None
                            ) -> Optional[Tuple[float, Dict[str, StageAssignment]]]:
         start, end = interval
         if end < start:
             return None
         if end == start:
             return 0.0, {}
+        if ctx is not None:
+            gain = ctx.eval_interval(node, start, end)
+            # the search only consumes the gain; stage assignments are
+            # recomputed during materialisation, so none are carried here
+            return None if gain is None else (gain, {})
         blocks = ordered_blocks[start:end]
         instructions = [
             instr for block in blocks for instr in block.instructions(block_dag.program)
@@ -562,24 +994,50 @@ class DPPlacer:
 
 
 def _product_limited(tables: List[List[Tuple[int, _Candidate]]],
-                     limit: int = 200000):
-    """Cartesian product over per-child DP tables with a safety cap."""
+                     limit: int = 200000, counters=None):
+    """Cartesian product over per-child DP tables with a safety cap.
+
+    Children whose tables carry identical (index, gain) entries — symmetric
+    siblings such as the equivalent pods of a fat-tree — would otherwise
+    enumerate every permutation of the same multiset of choices, and the
+    duplicates could crowd better combinations out of the cap.  Identical
+    children are grouped and only one representative per permutation class
+    is yielded (option indices non-decreasing within each group), so the
+    cap is spent on distinct placements.  All permutations of a multiset
+    share the same total gain, minimum and maximum index, hence the best
+    candidate found is unaffected.
+    """
     if not tables:
         yield []
         return
+    contents = [tuple((i, c.gain) for i, c in table) for table in tables]
+    groups: Dict[Tuple, List[int]] = {}
+    for position, content in enumerate(contents):
+        groups.setdefault(content, []).append(position)
+    group_positions = list(groups.values())
+    if counters is not None:
+        for positions in group_positions:
+            if len(positions) > 1:
+                counters.increment("product_symmetric_groups")
     count = 0
+    chosen: List[Optional[Tuple[int, _Candidate]]] = [None] * len(tables)
 
-    def recurse(index: int, chosen: List[Tuple[int, _Candidate]]):
+    def recurse(group_index: int):
         nonlocal count
         if count > limit:
             return
-        if index == len(tables):
+        if group_index == len(group_positions):
             count += 1
+            if counters is not None:
+                counters.increment("product_combos")
             yield list(chosen)
             return
-        for item in tables[index]:
-            chosen.append(item)
-            yield from recurse(index + 1, chosen)
-            chosen.pop()
+        positions = group_positions[group_index]
+        options = len(tables[positions[0]])
+        for combo in itertools.combinations_with_replacement(
+                range(options), len(positions)):
+            for position, option_index in zip(positions, combo):
+                chosen[position] = tables[position][option_index]
+            yield from recurse(group_index + 1)
 
-    yield from recurse(0, [])
+    yield from recurse(0)

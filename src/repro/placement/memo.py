@@ -1,0 +1,161 @@
+"""Cross-epoch memoisation for the DP placer (ROADMAP item 3).
+
+The DP search of :class:`~repro.placement.dp.DPPlacer` decomposes into three
+kinds of sub-solutions, each cached here across ``place()`` calls:
+
+* **device feasibility** — can this device (plus bypass fallbacks) host this
+  block interval?  One :class:`~repro.placement.intra.IntraDeviceAllocator`
+  run per *distinct* key; symmetric devices share the answer because the key
+  is the device's *content* (type + allocation fingerprint), not its name.
+* **interval gains** — the Eq. 1 gain of hosting an interval on a reduced
+  node, keyed on the node's content signature.
+* **sub-tree tables** — whole ``_client_dp`` / ``_server_dp`` DP tables,
+  keyed on a recursive sub-tree signature so symmetric pods solve once and
+  every isomorphic sibling reuses the table via ec-id correspondence.
+
+Every key embeds a *context digest* (normalised program fingerprint, block
+parameters, objective normalisation constants) and the allocation
+fingerprints of every device the sub-solution consulted
+(:meth:`~repro.devices.base.Device.allocation_fingerprint`).  Keys are
+therefore **content-addressed**: any allocation change on a consulted device
+changes its fingerprint and routes the lookup to a fresh key, so stale
+entries can never be returned.  Pruning — driven by
+:meth:`NetworkTopology.fingerprint_delta
+<repro.topology.network.NetworkTopology.fingerprint_delta>` deltas and by
+commit/release/remove events — exists to bound memory and drop entries that
+can never hit again, not for correctness.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Hashable, Iterable, List, Set, Tuple
+
+__all__ = ["PlacementMemo", "MISS", "INFEASIBLE"]
+
+#: sentinel returned by lookups when the key is absent (``None`` and floats
+#: are valid cached values, so absence needs its own object)
+MISS = object()
+
+#: sentinel cached for intervals/devices proven infeasible
+INFEASIBLE = object()
+
+_Key = Tuple[Hashable, ...]
+
+
+class PlacementMemo:
+    """Three LRU-bounded stores plus a device-name index for pruning."""
+
+    def __init__(self, max_entries: int = 100000) -> None:
+        self.max_entries = max(16, int(max_entries))
+        #: store name -> OrderedDict key -> (value, consulted device names)
+        self._stores: Dict[str, "OrderedDict[_Key, Tuple[object, Tuple[str, ...]]]"] = {
+            "device": OrderedDict(),
+            "interval": OrderedDict(),
+            "table": OrderedDict(),
+        }
+        #: device name -> set of (store name, key) that consulted it
+        self._by_device: Dict[str, Set[Tuple[str, _Key]]] = {}
+
+    # ------------------------------------------------------------------ #
+    # generic store plumbing
+    # ------------------------------------------------------------------ #
+    def _lookup(self, store: str, key: _Key) -> object:
+        entries = self._stores[store]
+        entry = entries.get(key)
+        if entry is None:
+            return MISS
+        entries.move_to_end(key)
+        return entry[0]
+
+    def _store(self, store: str, key: _Key, value: object,
+               devices: Iterable[str]) -> None:
+        entries = self._stores[store]
+        names = tuple(devices)
+        entries[key] = (value, names)
+        entries.move_to_end(key)
+        for name in names:
+            self._by_device.setdefault(name, set()).add((store, key))
+        while len(entries) > self.max_entries:
+            old_key, (_, old_names) = entries.popitem(last=False)
+            for name in old_names:
+                refs = self._by_device.get(name)
+                if refs is not None:
+                    refs.discard((store, old_key))
+                    if not refs:
+                        del self._by_device[name]
+
+    # ------------------------------------------------------------------ #
+    # typed accessors
+    # ------------------------------------------------------------------ #
+    def lookup_device(self, key: _Key) -> object:
+        """Feasibility of one (context, interval, device-content) key."""
+        return self._lookup("device", key)
+
+    def store_device(self, key: _Key, feasible: bool,
+                     devices: Iterable[str]) -> None:
+        self._store("device", key, feasible, devices)
+
+    def lookup_interval(self, key: _Key) -> object:
+        """Gain (or :data:`INFEASIBLE`) of one (context, node, interval) key."""
+        return self._lookup("interval", key)
+
+    def store_interval(self, key: _Key, value: object,
+                       devices: Iterable[str]) -> None:
+        self._store("interval", key, value, devices)
+
+    def lookup_table(self, key: _Key) -> object:
+        """A stored ``(dfs_ec_ids, dp_table)`` pair for a sub-tree signature."""
+        return self._lookup("table", key)
+
+    def store_table(self, key: _Key, value: object,
+                    devices: Iterable[str]) -> None:
+        self._store("table", key, value, devices)
+
+    # ------------------------------------------------------------------ #
+    # pruning / introspection
+    # ------------------------------------------------------------------ #
+    def prune_devices(self, device_names: Iterable[str]) -> int:
+        """Drop every entry that consulted any of *device_names*.
+
+        Called with commit/release deltas (and with
+        ``NetworkTopology.fingerprint_delta`` output when re-syncing a
+        snapshot): those devices' fingerprints changed, so entries keyed on
+        the old fingerprints can never hit again.  Returns the number of
+        entries dropped.
+        """
+        removed = 0
+        for name in device_names:
+            refs = self._by_device.pop(name, None)
+            if not refs:
+                continue
+            for store, key in refs:
+                entry = self._stores[store].pop(key, None)
+                if entry is None:
+                    continue
+                removed += 1
+                for other in entry[1]:
+                    if other == name:
+                        continue
+                    other_refs = self._by_device.get(other)
+                    if other_refs is not None:
+                        other_refs.discard((store, key))
+                        if not other_refs:
+                            del self._by_device[other]
+        return removed
+
+    def clear(self) -> int:
+        total = len(self)
+        for entries in self._stores.values():
+            entries.clear()
+        self._by_device.clear()
+        return total
+
+    def __len__(self) -> int:
+        return sum(len(entries) for entries in self._stores.values())
+
+    def sizes(self) -> Dict[str, int]:
+        return {store: len(entries) for store, entries in self._stores.items()}
+
+    def devices_indexed(self) -> List[str]:
+        return sorted(self._by_device)

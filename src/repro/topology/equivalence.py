@@ -10,6 +10,7 @@ server-side sub-tree around the root (core) node.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
@@ -38,7 +39,28 @@ class EquivalenceClass:
         return len(self.members)
 
     def representative(self, topo: NetworkTopology) -> Device:
-        return topo.device(self.members[0])
+        """The first *available* member, standing in for the whole class.
+
+        Guarded against stale classes: after ``fail_device``/``drain_device``
+        a class computed earlier may have shrunk to zero usable members, and
+        blindly returning ``members[0]`` would hand out a down device.
+        """
+        if not self.members:
+            raise TopologyError(
+                f"equivalence class {self.ec_id!r} has no members"
+            )
+        for name in self.members:
+            device = topo.device(name)
+            if device.is_available():
+                return device
+        raise TopologyError(
+            f"equivalence class {self.ec_id!r} has no available members "
+            f"(all of {self.members} are down or draining)"
+        )
+
+    def available_members(self, topo: NetworkTopology) -> List[str]:
+        """Member names that are currently up (may be empty for stale classes)."""
+        return [n for n in self.members if topo.device(n).is_available()]
 
 
 def compute_equivalence_classes(topo: NetworkTopology,
@@ -159,7 +181,106 @@ class ReducedTree:
         return [n for n in self.all_nodes() if n.side == "server"]
 
     def device_count(self) -> int:
-        return sum(node.ec.size for node in self.all_nodes())
+        """Distinct devices the tree covers.
+
+        Guarded against (a) stale classes emptied by ``fail_device`` /
+        ``drain_device`` (they contribute zero instead of tripping on a
+        missing representative) and (b) nodes reachable through more than
+        one parent in group-wired fabrics, whose members would otherwise be
+        double-counted.
+        """
+        names: Set[str] = set()
+        for node in self.all_nodes():
+            if node.ec.members:
+                names.update(node.ec.members)
+        return len(names)
+
+
+def node_content_key(node: ReducedNode, topo: NetworkTopology) -> Tuple:
+    """Name-blind content of one reduced node (ignoring its children).
+
+    Two nodes with equal content keys host any block interval with the same
+    feasibility and the same Eq. 1 gain: the key pins the traffic share, the
+    replica count, and — through each member's and bypass's device type and
+    allocation fingerprint — the capacities, current allocations and status
+    of every device the interval evaluation consults.  Device *names* are
+    deliberately excluded so symmetric devices in different pods compare
+    equal (``Device.allocation_fingerprint`` is itself name-blind).
+    """
+    return (
+        node.side,
+        repr(float(node.traffic_share)),
+        node.ec.layer,
+        node.ec.dev_type,
+        tuple(
+            (topo.device(m).dev_type, topo.device(m).allocation_fingerprint())
+            for m in node.ec.members
+        ),
+        tuple(
+            (topo.device(b).dev_type, topo.device(b).allocation_fingerprint())
+            for b in node.bypass
+        ),
+    )
+
+
+def subtree_signature(node: ReducedNode, topo: NetworkTopology,
+                      _cache: Optional[Dict[int, str]] = None) -> str:
+    """Recursive content digest of the sub-tree rooted at *node*.
+
+    Two sub-trees with equal signatures are isomorphic by construction:
+    their roots have equal :func:`node_content_key` and their children —
+    *in order* — have equal signatures.  The DP placer uses this to solve
+    one symmetric pod and replay the resulting table on every sibling with
+    the same signature (see :func:`subtree_correspondence`).  Like the
+    node keys, signatures are name-blind and change whenever any member's
+    allocation fingerprint changes, so memoised tables are content-addressed.
+    """
+    cache = _cache if _cache is not None else {}
+    node_key = id(node)
+    cached = cache.get(node_key)
+    if cached is not None:
+        return cached
+    hasher = hashlib.sha256()
+    hasher.update(repr(node_content_key(node, topo)).encode("utf-8"))
+    for child in node.children:
+        hasher.update(b"|")
+        hasher.update(subtree_signature(child, topo, cache).encode("ascii"))
+    digest = hasher.hexdigest()
+    cache[node_key] = digest
+    return digest
+
+
+def subtree_class_ids(node: ReducedNode) -> List[str]:
+    """Equivalence-class ids of the sub-tree in DFS pre-order."""
+    return [n.ec.ec_id for n in node.iter_nodes()]
+
+
+def subtree_correspondence(stored_ids: Sequence[str],
+                           node: ReducedNode) -> Optional[Dict[str, str]]:
+    """Bijective ec-id mapping from a stored sub-tree onto *node*'s.
+
+    Both sides are DFS pre-order id lists of sub-trees with the same
+    signature, so positions correspond one-to-one.  Group-wired fabrics can
+    hang one node under several parents; the resulting repeated visits must
+    map consistently, and the mapping must be a bijection — on any conflict
+    the function returns ``None`` and the caller falls back to solving the
+    sub-tree from scratch (correctness over reuse).
+    """
+    live_ids = subtree_class_ids(node)
+    if len(stored_ids) != len(live_ids):
+        return None
+    mapping: Dict[str, str] = {}
+    reverse: Dict[str, str] = {}
+    for stored, live in zip(stored_ids, live_ids):
+        seen = mapping.get(stored)
+        if seen is None:
+            if live in reverse:
+                return None
+            mapping[stored] = live
+            reverse[live] = stored
+        elif seen != live:
+            return None
+    return mapping
 
 
 def build_reduced_tree(

@@ -1,0 +1,418 @@
+"""Differential tests for the fabric-scale placement optimizations.
+
+The optimized :class:`DPPlacer` (cross-epoch memo, equivalence-class
+pruning, vectorized interval scoring) must be *plan-identical* to the
+reference search (``optimize=False``, the seed algorithm): same devices,
+same steps, same gains, same consulted-device fingerprints — across
+randomized fat-tree and spine-leaf topologies, allocation drift and
+fail/restore churn.  Any divergence is a soundness bug in the pruning or
+the memo, not a tuning knob.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.exceptions import TopologyError
+from repro.frontend import compile_template
+from repro.lang.profile import default_profile
+from repro.placement import (
+    DPPlacer,
+    IntervalScorer,
+    PlacementMemo,
+    PlacementRequest,
+    build_block_dag,
+)
+from repro.placement.dp import _Candidate, _product_limited
+from repro.placement.objective import ObjectiveWeights, PlacementObjective
+from repro.topology.equivalence import (
+    EquivalenceClass,
+    build_reduced_tree,
+    compute_equivalence_classes,
+    subtree_class_ids,
+    subtree_correspondence,
+    subtree_signature,
+)
+from repro.topology.fattree import build_chain, build_fattree
+from repro.topology.spineleaf import build_spineleaf
+
+
+# --------------------------------------------------------------------- #
+# helpers
+# --------------------------------------------------------------------- #
+def plan_key(plan):
+    """Byte-level identity surface of a plan.
+
+    Covers everything downstream consumers read: the gain, each block's
+    devices/step/stage demands, and the allocation fingerprints of every
+    device the search consulted (the commit-time validation set).
+    """
+    return (
+        plan.program_name,
+        plan.gain,
+        plan.served_traffic_fraction,
+        plan.transfer_bits,
+        tuple(
+            (
+                a.block_id,
+                a.ec_id,
+                tuple(a.device_names),
+                a.step,
+                a.replicated,
+                tuple(
+                    (name, tuple(sorted(sa.stage_demands.items())))
+                    for name, sa in sorted(a.stage_assignments.items())
+                ),
+            )
+            for a in plan.assignments
+        ),
+        tuple(sorted(plan.device_fingerprints.items())),
+    )
+
+
+def apply_drift(topo, rng, fraction=1.0):
+    """Seeded background allocations so devices are not all content-equal."""
+    for name in sorted(topo.devices):
+        if rng.random() > fraction:
+            continue
+        device = topo.devices[name]
+        stages = rng.sample(range(device.num_stages),
+                            k=min(2, device.num_stages))
+        for stage in stages:
+            device.allocate_stage(stage, {"instructions": float(rng.randint(1, 5))})
+
+
+def make_request(program, sources, destination, max_block_size=8):
+    return PlacementRequest(
+        program=program,
+        source_groups=list(sources),
+        destination_group=destination,
+        max_block_size=max_block_size,
+    )
+
+
+def assert_plan_identical(topo, request):
+    """Place with both searches against identical topology state."""
+    optimized = DPPlacer(topo).place(request)
+    reference = DPPlacer(topo, optimize=False).place(request)
+    assert plan_key(optimized) == plan_key(reference)
+    return optimized
+
+
+@pytest.fixture(scope="module")
+def kvs():
+    return compile_template(default_profile("KVS"), name="kvs_scale")
+
+
+@pytest.fixture(scope="module")
+def mlagg():
+    profile = default_profile("MLAgg")
+    return compile_template(profile, name="mlagg_scale")
+
+
+# --------------------------------------------------------------------- #
+# tentpole: differential plan identity
+# --------------------------------------------------------------------- #
+class TestPlanIdentity:
+    @pytest.mark.parametrize("k", [4, 8])
+    def test_fattree_cold(self, kvs, k):
+        topo = build_fattree(k=k)
+        sources = [f"pod{p}(a)" for p in range(k // 2)]
+        dst = f"pod{k - 1}(a)"
+        assert_plan_identical(topo, make_request(kvs, sources, dst))
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_fattree_randomized_drift(self, kvs, seed):
+        rng = random.Random(seed)
+        topo = build_fattree(k=8)
+        apply_drift(topo, rng, fraction=0.6)
+        sources = sorted(rng.sample([f"pod{p}(a)" for p in range(7)], k=3))
+        assert_plan_identical(topo, make_request(kvs, sources, "pod7(a)"))
+
+    @pytest.mark.parametrize("seed", [3, 4])
+    def test_spineleaf_randomized(self, mlagg, seed):
+        rng = random.Random(seed)
+        topo = build_spineleaf(num_spines=4, num_leaves=8)
+        apply_drift(topo, rng, fraction=0.5)
+        sources = sorted(rng.sample([f"rack{i}" for i in range(7)], k=3))
+        assert_plan_identical(topo, make_request(mlagg, sources, "rack7"))
+
+    def test_warm_placer_matches_fresh_reference_after_churn(self, kvs):
+        """The cross-epoch memo must never leak stale sub-solutions.
+
+        A single warm placer re-places across a sequence of topology
+        mutations (drift, fail, restore); after every mutation its plan
+        must match a fresh reference placer solving from scratch.
+        """
+        rng = random.Random(42)
+        topo = build_fattree(k=8)
+        request = make_request(
+            kvs, ["pod0(a)", "pod1(a)", "pod2(a)"], "pod7(a)")
+        warm = DPPlacer(topo)
+
+        # Failing an aggregation switch reshapes the paths without
+        # disconnecting any host group (each pod keeps 3 more aggs).
+        aggs = [n for n in sorted(topo.devices)
+                if n.startswith(("Agg0_", "Agg1_", "Agg2_", "Agg7_"))]
+        for round_no in range(6):
+            action = round_no % 3
+            if action == 0:
+                topo.set_device_status(rng.choice(aggs), "down")
+            elif action == 1:
+                name = rng.choice(sorted(topo.devices))
+                device = topo.devices[name]
+                device.allocate_stage(
+                    rng.randrange(device.num_stages),
+                    {"instructions": float(rng.randint(1, 4))})
+            else:
+                for name in list(topo.devices):
+                    topo.set_device_status(name, "up")
+            warm_plan = warm.place(request)
+            cold_plan = DPPlacer(topo, optimize=False).place(request)
+            assert plan_key(warm_plan) == plan_key(cold_plan), (
+                f"divergence after churn round {round_no}")
+
+    def test_commit_release_cycle_stays_identical(self, kvs, mlagg):
+        """Committing plans changes allocations; the memo must track it."""
+        topo = build_fattree(k=8)
+        placer = DPPlacer(topo)
+        req_a = make_request(kvs, ["pod0(a)", "pod1(a)"], "pod7(a)")
+        req_b = make_request(mlagg, ["pod2(a)", "pod3(a)"], "pod7(a)")
+
+        plan_a = placer.place(req_a)
+        placer.commit(plan_a)
+        plan_b = placer.place(req_b)
+        ref_b = DPPlacer(topo, optimize=False).place(req_b)
+        assert plan_key(plan_b) == plan_key(ref_b)
+
+        placer.release(plan_a)
+        plan_a2 = placer.place(req_a)
+        ref_a2 = DPPlacer(topo, optimize=False).place(req_a)
+        assert plan_key(plan_a2) == plan_key(ref_a2)
+
+
+# --------------------------------------------------------------------- #
+# layer 1: cross-epoch memo
+# --------------------------------------------------------------------- #
+class TestPlacementMemo:
+    def test_warm_replace_hits_memo(self, kvs):
+        topo = build_fattree(k=8)
+        placer = DPPlacer(topo)
+        request = make_request(kvs, ["pod0(a)", "pod1(a)"], "pod7(a)")
+        placer.place(request)
+        placer.profile.reset()
+        placer.place(request)
+        counters = placer.profile.counters.summary()
+        assert counters["interval_memo_hits"] > 0
+        assert counters["subtree_memo_hits"] > 0
+
+    def test_prune_devices_evicts_only_consulted_entries(self):
+        memo = PlacementMemo()
+        memo.store_device(("ctx", 0, 2, "tofino", "fp1"), 1.5, ["SW1"])
+        memo.store_device(("ctx", 0, 2, "tofino", "fp2"), 2.5, ["SW2"])
+        memo.store_interval(("ctx", "node", 0, 2), 3.5, ["SW1", "SW2"])
+        assert len(memo) == 3
+        dropped = memo.prune_devices(["SW1"])
+        assert dropped == 2
+        assert len(memo) == 1
+        from repro.placement.memo import MISS
+        assert memo.lookup_device(("ctx", 0, 2, "tofino", "fp2")) == 2.5
+        assert memo.lookup_device(("ctx", 0, 2, "tofino", "fp1")) is MISS
+
+    def test_memo_bounded_lru(self):
+        memo = PlacementMemo(max_entries=16)  # 16 is the floor
+        for i in range(40):
+            memo.store_device(("ctx", i, i + 1, "t", "fp"), float(i), [f"D{i}"])
+        assert len(memo) == 16
+        # evicted entries drop out of the device index too
+        assert len(memo.devices_indexed()) == 16
+        assert memo.devices_indexed() == sorted(f"D{i}" for i in range(24, 40))
+
+    def test_controller_remove_prunes_placer_memo(self, kvs):
+        """The remove path evicts memo entries alongside stale cached plans.
+
+        Commit already prunes entries consulting the committed devices, so
+        the memo is warmed *after* tenant_a's deploy with a speculative
+        placement (stamped against the live, tenant_a-occupied state); the
+        removal of tenant_a must invalidate those entries.
+        """
+        from repro.core import ClickINC
+        from repro.topology import build_paper_emulation_topology
+
+        inc = ClickINC(build_paper_emulation_topology())
+        deployed = inc.deploy_profile(
+            default_profile("KVS"), ["pod0(a)"], "pod2(b)", name="tenant_a")
+        inc.placer.place(make_request(kvs, ["pod0(a)"], "pod2(b)"))
+        before = memo_entries_for(inc.placer.memo,
+                                  deployed.plan.devices_used())
+        assert before > 0
+        inc.remove("tenant_a")
+        after = memo_entries_for(inc.placer.memo,
+                                 deployed.plan.devices_used())
+        assert after == 0
+
+
+def memo_entries_for(memo, names):
+    return sum(
+        1 for store in memo._stores.values()
+        for _, consulted in store.values()
+        if any(n in consulted for n in names)
+    )
+
+
+# --------------------------------------------------------------------- #
+# layer 2: equivalence-class pruning
+# --------------------------------------------------------------------- #
+class TestEquivalencePruning:
+    def test_symmetric_subtrees_share_signature(self, kvs):
+        topo = build_fattree(k=8)
+        dag = build_block_dag(kvs, max_block_size=8)
+        tree = build_reduced_tree(
+            topo, ["pod0(a)", "pod1(a)"], "pod7(a)")
+        client_roots = [c for c in tree.root.children if c.side == "client"]
+        assert len(client_roots) >= 2
+        cache = {}
+        sigs = {subtree_signature(n, topo, cache) for n in client_roots}
+        assert len(sigs) == 1  # fresh symmetric pods collapse
+
+    def test_allocation_breaks_signature_sharing(self):
+        topo = build_fattree(k=8)
+        tree = build_reduced_tree(topo, ["pod0(a)", "pod1(a)"], "pod7(a)")
+        client_roots = [c for c in tree.root.children if c.side == "client"]
+        victim = topo.device(client_roots[0].ec.representative(topo).name)
+        victim.allocate_stage(0, {"instructions": 3.0})
+        tree2 = build_reduced_tree(topo, ["pod0(a)", "pod1(a)"], "pod7(a)")
+        roots2 = [c for c in tree2.root.children if c.side == "client"]
+        cache = {}
+        sigs = {subtree_signature(n, topo, cache) for n in roots2}
+        assert len(sigs) == 2  # drifted pod no longer matches
+
+    def test_correspondence_rejects_shape_mismatch(self):
+        topo = build_fattree(k=8)
+        tree = build_reduced_tree(topo, ["pod0(a)", "pod1(a)"], "pod7(a)")
+        node = tree.root.children[0]
+        ids = subtree_class_ids(node)
+        assert subtree_correspondence(ids, node) is not None
+        assert subtree_correspondence(ids[:-1], node) is None
+
+    def test_representative_raises_on_empty_class(self, chain_topology):
+        ec = EquivalenceClass(ec_id="ghost", members=[], layer="tor",
+                              pod=0, dev_type="tofino")
+        with pytest.raises(TopologyError):
+            ec.representative(chain_topology)
+
+    def test_representative_skips_down_members(self, chain_topology):
+        classes = compute_equivalence_classes(chain_topology)
+        ec = next(c for c in classes if c.size >= 1)
+        chain_topology.set_device_status(ec.members[0], "down")
+        if len(ec.members) > 1:
+            rep = ec.representative(chain_topology)
+            assert rep.name != ec.members[0]
+            assert rep.is_available()
+        else:
+            with pytest.raises(TopologyError):
+                ec.representative(chain_topology)
+        assert ec.members[0] not in ec.available_members(chain_topology)
+
+    def test_device_count_survives_emptied_class(self):
+        topo = build_chain(4)
+        tree = build_reduced_tree(topo, ["client"], "server")
+        baseline = tree.device_count()
+        assert baseline == 4
+        # Emptying a class after the tree was built must not raise.
+        for node in tree.all_nodes():
+            node.ec.members.clear()
+            break
+        assert tree.device_count() <= baseline
+
+
+# --------------------------------------------------------------------- #
+# layer 3: vectorized interval scoring
+# --------------------------------------------------------------------- #
+class TestIntervalScorer:
+    @pytest.mark.parametrize("use_numpy", [True, False])
+    def test_gain_row_matches_scalar_objective(self, kvs, use_numpy):
+        if use_numpy:
+            pytest.importorskip("numpy")
+        dag = build_block_dag(kvs, max_block_size=4)
+        objective = PlacementObjective(
+            total_resource_units=4800.0, total_transfer_bits=250_000.0,
+            adaptive=False)
+        ordered = dag.topological_order()
+        scorer = IntervalScorer(dag, ordered, objective, use_numpy=use_numpy)
+        weights = ObjectiveWeights.adaptive(0.73)  # non-round weights
+        n = len(ordered)
+        for start in range(n):
+            row = scorer.gain_row(start, served_fraction=0.375,
+                                  weights=weights, replicas=2,
+                                  end_lo=start + 1, end_hi=n + 1)
+            for offset, end in enumerate(range(start + 1, n + 1)):
+                expected = objective.gain(
+                    served_fraction=0.375,
+                    instruction_count=scorer.instruction_count(start, end),
+                    transfer_bits=scorer.cut_bits(start, end),
+                    weights=weights,
+                    replicas=2,
+                )
+                assert row[offset] == expected  # bit-identical, not approx
+
+    def test_counts_and_cut_bits_match_reference(self, mlagg):
+        dag = build_block_dag(mlagg, max_block_size=6)
+        objective = PlacementObjective(
+            total_resource_units=1000.0, total_transfer_bits=1000.0)
+        ordered = dag.topological_order()
+        scorer = IntervalScorer(dag, ordered, objective)
+        n = len(ordered)
+        for start in range(n + 1):
+            for end in range(start, n + 1):
+                expected_count = sum(
+                    len(b.instructions(dag.program))
+                    for b in ordered[start:end])
+                assert scorer.instruction_count(start, end) == expected_count
+                assert scorer.cut_bits(start, end) == (
+                    DPPlacer._interval_cut_bits(dag, ordered, start, end))
+
+
+# --------------------------------------------------------------------- #
+# satellite: _product_limited dedup
+# --------------------------------------------------------------------- #
+class TestProductLimited:
+    @staticmethod
+    def table(*gains):
+        return [(i, _Candidate(gain=g)) for i, g in enumerate(gains)]
+
+    def test_symmetric_children_deduped(self):
+        t = self.table(1.0, 2.0)
+        combos = list(_product_limited([t, t, t]))
+        # 3 identical children with 2 options: multiset combinations
+        # C(2+3-1, 3) = 4, not 2**3 = 8.
+        assert len(combos) == 4
+        seen = set()
+        for combo in combos:
+            key = tuple(sorted(i for i, _ in combo))
+            assert key not in seen  # no duplicate multisets
+            seen.add(key)
+
+    def test_distinct_children_full_product(self):
+        a = self.table(1.0, 2.0)
+        b = self.table(3.0, 4.0, 5.0)
+        combos = list(_product_limited([a, b]))
+        assert len(combos) == 6
+        assert {(c[0][0], c[1][0]) for c in combos} == {
+            (i, j) for i in range(2) for j in range(3)}
+
+    def test_limit_still_enforced(self):
+        tables = [self.table(*range(10)) for _ in range(8)]
+        # distinct gains per child would explode; symmetric dedup keeps
+        # this to C(10+8-1, 8) = 24310 < limit, so it completes.
+        combos = list(_product_limited(tables, limit=200000))
+        assert len(combos) == 24310
+
+    def test_preserves_child_order(self):
+        a = self.table(1.0)
+        b = self.table(2.0, 3.0)
+        for combo in _product_limited([b, a, b]):
+            assert len(combo) == 3
+            assert combo[1][1].gain == 1.0  # middle child stays in place
