@@ -39,11 +39,24 @@ non-zero when
 * the incremental plan stops being byte-identical to the cold plan, or
   the warm run stops hitting the cross-epoch memo at all.
 
+``--suite gateway`` runs the multi-tenant gateway QoS benchmark
+(:mod:`benchmarks.bench_gateway_qos`) and fails when
+
+* a saturated lane's dispatch shares drift more than
+  ``max_gateway_share_error`` from the configured tenant weights,
+* any fairness-phase submission fails in the pipeline,
+* the overload phase stops producing at least ``min_gateway_shed`` sheds
+  and ``min_gateway_backpressure`` backpressure rejections, or
+* load-shedding drops a committed program (``dropped_committed`` must be
+  zero, and a program committed before the storm must survive it).
+
 Usage (from the repository root, with ``PYTHONPATH=src``)::
 
     python benchmarks/regression_gate.py --output BENCH_pipeline.json
     python benchmarks/regression_gate.py --suite scaling \\
         --output BENCH_scaling.json
+    python benchmarks/regression_gate.py --suite gateway \\
+        --output BENCH_gateway.json
 """
 
 from __future__ import annotations
@@ -69,6 +82,9 @@ from benchmarks.bench_runtime_migration import (  # noqa: E402
     run_all as run_runtime_migration,
 )
 from benchmarks.bench_fig14_scaling import run_scaling  # noqa: E402
+from benchmarks.bench_gateway_qos import (  # noqa: E402
+    run_all as run_gateway_qos,
+)
 from benchmarks.bench_sharded_scaling import (  # noqa: E402
     MIN_CORES as SHARDED_MIN_CORES,
     run_all as run_sharded_scaling,
@@ -153,6 +169,80 @@ def measure_scaling(reduced: bool = True) -> dict:
         "scaling_device_checks_warm": warm["device_checks"],
         "scaling_device_checks_cold": result["cold_counters"]["device_checks"],
     }
+
+
+def measure_gateway() -> dict:
+    results = run_gateway_qos()
+    fairness = results["fairness"]
+    overload = results["overload"]
+    return {
+        "generated_unix_time": int(time.time()),
+        "gateway_tenants": len(fairness["tenants"]),
+        "gateway_wave": fairness["wave"],
+        "gateway_dispatch_window": fairness["window"],
+        "gateway_shares": {tid: round(share, 4)
+                           for tid, share in fairness["shares"].items()},
+        "gateway_share_error": round(fairness["share_error"], 4),
+        "gateway_fairness_submitted": fairness["submitted"],
+        "gateway_fairness_committed": fairness["committed"],
+        "gateway_fairness_failures": fairness["failures"],
+        "gateway_fairness_rps": round(fairness["rps"], 3),
+        "gateway_overload_offered": overload["offered"],
+        "gateway_overload_capacity": overload["capacity"],
+        "gateway_overload_committed": overload["committed"],
+        "gateway_backpressure_rejections": overload["backpressure"],
+        "gateway_shed": overload["shed"],
+        "gateway_dropped_committed": overload["dropped_committed"],
+        "gateway_precommitted_survived": bool(
+            overload["precommitted_survived"]
+        ),
+    }
+
+
+def check_gateway(measured: dict, baseline: dict) -> list:
+    failures = []
+    max_error = float(baseline.get("max_gateway_share_error", 0.10))
+    if measured["gateway_share_error"] > max_error:
+        failures.append(
+            f"saturated-lane dispatch shares drift"
+            f" {measured['gateway_share_error']:.3f} from the configured"
+            f" weights (must stay within {max_error:.2f}):"
+            f" {measured['gateway_shares']}"
+        )
+    if measured["gateway_fairness_failures"] > 0:
+        failures.append(
+            f"{measured['gateway_fairness_failures']}/"
+            f"{measured['gateway_fairness_submitted']} fairness-phase"
+            " submissions failed in the pipeline — the scenario no longer"
+            " measures scheduling alone"
+        )
+    min_shed = int(baseline.get("min_gateway_shed", 1))
+    if measured["gateway_shed"] < min_shed:
+        failures.append(
+            f"the overload phase shed only {measured['gateway_shed']}"
+            f" submissions (needs >= {min_shed}) — load-shedding no longer"
+            " triggers under saturation"
+        )
+    min_bp = int(baseline.get("min_gateway_backpressure", 1))
+    if measured["gateway_backpressure_rejections"] < min_bp:
+        failures.append(
+            f"the overload phase pushed back only"
+            f" {measured['gateway_backpressure_rejections']} submissions"
+            f" (needs >= {min_bp}) — the bounded lane no longer"
+            " backpressures"
+        )
+    if measured["gateway_dropped_committed"] != 0:
+        failures.append(
+            f"{measured['gateway_dropped_committed']} committed programs"
+            " vanished during the load-shed storm — shedding must never"
+            " touch committed work"
+        )
+    if not measured["gateway_precommitted_survived"]:
+        failures.append(
+            "the program committed before the overload storm is no longer"
+            " deployed afterwards"
+        )
+    return failures
 
 
 def check_scaling(measured: dict, baseline: dict) -> list:
@@ -332,9 +422,10 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--suite",
-        choices=("pipeline", "scaling"),
+        choices=("pipeline", "scaling", "gateway"),
         default="pipeline",
-        help="pipeline: deploy/service/migration/sharding; scaling: fabric-scale",
+        help="pipeline: deploy/service/migration/sharding; scaling:"
+             " fabric-scale; gateway: multi-tenant QoS",
     )
     parser.add_argument(
         "--full-workload",
@@ -345,6 +436,8 @@ def main(argv=None) -> int:
 
     if args.suite == "scaling":
         measured = measure_scaling(reduced=not args.full_workload)
+    elif args.suite == "gateway":
+        measured = measure_gateway()
     else:
         measured = measure()
     output = args.output or f"BENCH_{args.suite}.json"
@@ -355,6 +448,8 @@ def main(argv=None) -> int:
     baseline = json.loads(Path(args.baseline).read_text())
     if args.suite == "scaling":
         failures = check_scaling(measured, baseline)
+    elif args.suite == "gateway":
+        failures = check_gateway(measured, baseline)
     else:
         failures = check(measured, baseline)
     if failures:

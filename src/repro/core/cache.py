@@ -13,14 +13,23 @@ stable content hashes:
   name-normalised program fingerprint, the placement request parameters and
   a fingerprint of the topology's current resource allocations.  Releasing a
   program restores the fingerprint, so re-deploying a template app after a
-  removal is a pure cache hit.
+  removal is a pure cache hit.  Each plan carries ``device_fingerprints`` —
+  the allocation fingerprint of every device its search consulted — and the
+  pipeline writes validated speculative plans back under the same content
+  address the sequential path would use, so later identical requests hit
+  warm.  :meth:`ArtifactCache.prune_stale_plans` evicts entries whose
+  stamps no longer match the live topology after a removal frees capacity —
+  such plans can never validate again, so pruning them is purely a memory
+  bound, mirroring ``DPPlacer.prune_memo`` on the placement memo.
 * ``codegen`` — generated backend source, keyed by (snippet fingerprint,
   device model).
 
 Keys are namespaced SHA-256 digests of a canonical JSON rendering of the
 inputs, so any change to the inputs produces a different address.  The cache
 is safe to share between the concurrent compile workers of
-``ClickINC.deploy_many``.
+``ClickINC.deploy_many``, across the shards of a
+:class:`~repro.sharding.coordinator.ShardCoordinator` (each shard owns its
+own instance), and with the asyncio service's write-back path.
 """
 
 from __future__ import annotations

@@ -46,6 +46,7 @@ default thread-pool executor, so the loop itself never stalls on a wave.
 from __future__ import annotations
 
 import asyncio
+import time
 from dataclasses import dataclass, field
 from functools import partial
 from typing import Dict, List, Optional
@@ -57,7 +58,22 @@ from repro.exceptions import DeploymentError
 from repro.synthesis.incremental import SynthesisDelta
 from repro.topology.network import NetworkTopology
 
-__all__ = ["INCService"]
+__all__ = ["INCService", "deadline_report"]
+
+
+def deadline_report(name: str, detail: str) -> PipelineReport:
+    """A failed :class:`PipelineReport` for a deadline-expired submission.
+
+    Deadline expiry is an admission outcome, not a pipeline error, so it is
+    reported (``failed_stage="deadline"``) exactly like any other
+    per-request failure — never raised — and carries no partial state:
+    nothing was compiled or committed on its behalf.
+    """
+    report = PipelineReport(program_name=name)
+    report.succeeded = False
+    report.error = detail
+    report.failed_stage = "deadline"
+    return report
 
 
 @dataclass
@@ -76,6 +92,9 @@ class _Admission:
     name: Optional[str] = None
     lazy: bool = True
     payload: Optional[Dict[str, object]] = None
+    #: absolute ``time.monotonic()`` deadline: a submission still queued
+    #: when it passes fails fast (stage ``deadline``) without compiling
+    deadline: Optional[float] = None
 
 
 @dataclass
@@ -104,6 +123,12 @@ class ServiceStats(CounterMixin):
     #: cross-shard prepares aborted because a touched shard's allocation
     #: state drifted from the epoch-tagged snapshot placement ran against
     aborted_prepares: int = 0
+    #: submissions that expired in the admission queue (deadline passed
+    #: before their wave was dispatched)
+    deadline_expired: int = 0
+    #: cross-shard two-phase commits aborted because the submission's
+    #: deadline passed between the speculative phase and the commit wave
+    deadline_aborts: int = 0
     #: per-shard activity breakdown: each entry is the owning shard's own
     #: :class:`ShardCounters` bag, aliased in by the coordinator so the
     #: counters are incremented exactly once
@@ -129,6 +154,8 @@ class ServiceStats(CounterMixin):
             "migrations": self.migrations,
             "cross_shard_commits": self.cross_shard_commits,
             "aborted_prepares": self.aborted_prepares,
+            "deadline_expired": self.deadline_expired,
+            "deadline_aborts": self.deadline_aborts,
         }
         if self.per_shard:
             summary["per_shard"] = {
@@ -318,13 +345,22 @@ class INCService:
     # ------------------------------------------------------------------ #
     # the service API
     # ------------------------------------------------------------------ #
-    async def submit(self, request: DeployRequest) -> PipelineReport:
+    async def submit(self, request: DeployRequest,
+                     deadline: Optional[float] = None) -> PipelineReport:
         """Admit one deployment request; resolves once it has committed.
 
         The returned :class:`PipelineReport` carries the outcome —
         per-request failures (``succeeded=False``, ``error``,
         ``failed_stage``) are reported, not raised, exactly as in
         ``deploy_many``.
+
+        *deadline* is an absolute ``time.monotonic()`` instant.  A
+        submission still queued when it passes fails fast with
+        ``failed_stage="deadline"`` — no compile work is spent on it — and
+        a cross-shard submission checks it again inside the two-phase
+        commit: a deadline passing between the speculative phase and the
+        commit wave aborts the prepare (residue-free, nothing was
+        committed) instead of committing late.
 
         In sharded mode the request queues in its shard's own lane; a
         request whose traffic spans shards runs through the coordinator's
@@ -349,7 +385,8 @@ class INCService:
                 self._pending_lane[name] = (None, marker)
                 try:
                     report = await self._run_direct(
-                        partial(self.coordinator.deploy, request)
+                        partial(self.coordinator.deploy, request,
+                                deadline=deadline)
                     )
                 finally:
                     entry = self._pending_lane.get(name)
@@ -366,6 +403,7 @@ class INCService:
             kind="submit",
             future=asyncio.get_running_loop().create_future(),
             request=request,
+            deadline=deadline,
         ))
         if self.coordinator is not None:
             name = request.resolved_name()
@@ -545,6 +583,31 @@ class INCService:
             if not marker.done():
                 marker.set_result(None)
 
+    def lane_of(self, request: DeployRequest) -> Optional[str]:
+        """The admission-lane key *request* would queue in.
+
+        The gateway's weighted-fair scheduler maps tenant weight onto the
+        service's admission lanes, so it needs the same routing decision the
+        service itself makes: the owning shard's id in sharded mode,
+        ``"default"`` for the unsharded single queue, and ``"cross"`` for a
+        submission whose traffic spans shards (those bypass the lanes and
+        serialise on the coordinator's locks instead).  Returns ``None``
+        when the request cannot be routed at all (unknown host groups) —
+        submitting it would fail with the same routing error.
+        """
+        if self.coordinator is None:
+            return "default"
+        touched, route_error = self.coordinator._route(request)
+        if route_error is not None:
+            return None
+        return touched[0] if len(touched) == 1 else "cross"
+
+    def lane_keys(self) -> List[str]:
+        """Every lane key :meth:`lane_of` can return (sans ``None``)."""
+        if self.coordinator is None:
+            return ["default"]
+        return sorted(self.coordinator.shards) + ["cross"]
+
     def deployed_programs(self) -> List[str]:
         if self.coordinator is not None:
             return self.coordinator.deployed_programs()
@@ -618,6 +681,28 @@ class INCService:
 
     async def _run_wave(self, loop, wave: List[_Admission],
                         shard_id: Optional[str] = None) -> None:
+        # expired submissions fail before any compile work is spent on them;
+        # the rest of the wave proceeds untouched
+        live: List[_Admission] = []
+        expired = 0
+        now = time.monotonic()
+        for admission in wave:
+            if admission.deadline is not None and now > admission.deadline:
+                expired += 1
+                self.stats.increment("deadline_expired")
+                if not admission.future.done():
+                    admission.future.set_result(
+                        deadline_report(admission.request.resolved_name(),
+                                        "the submission's deadline passed "
+                                        "while it was queued for admission")
+                    )
+            else:
+                live.append(admission)
+        if not live:
+            if expired:
+                self.stats.record_wave(expired, failures=expired)
+            return
+        total, wave = len(wave), live
         requests = [admission.request for admission in wave]
         if shard_id is not None:
             # shard lane: the wave runs on the shard's own pipeline and
@@ -634,8 +719,9 @@ class INCService:
                     admission.future.set_exception(exc)
             return
         self.stats.record_wave(
-            len(wave),
-            failures=sum(1 for report in reports if not report.succeeded),
+            total,
+            failures=expired + sum(1 for report in reports
+                                   if not report.succeeded),
         )
         for admission, report in zip(wave, reports):
             if not admission.future.done():

@@ -15,7 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict
 
-__all__ = ["CounterMixin", "ShardCounters"]
+__all__ = ["CounterMixin", "ShardCounters", "TenantCounters"]
 
 
 class CounterMixin:
@@ -66,4 +66,47 @@ class ShardCounters(CounterMixin):
             "cross_shard_commits": self.cross_shard_commits,
             "aborted_prepares": self.aborted_prepares,
             "migrations": self.migrations,
+        }
+
+
+@dataclass
+class TenantCounters(CounterMixin):
+    """Per-tenant activity at the gateway, one bag per authenticated tenant.
+
+    The gateway (:mod:`repro.gateway`) maintains one instance per tenant and
+    surfaces them through ``GET /v1/status``; every admission decision —
+    committed, rejected for quota, pushed back, shed, expired — lands in
+    exactly one of these counters, so a tenant's submitted total always
+    equals the sum of its outcomes plus what is still queued or in flight.
+    """
+
+    #: submissions accepted into the admission scheduler
+    submitted: int = 0
+    #: submissions that committed a deployment
+    committed: int = 0
+    #: submissions whose deployment failed in the pipeline (compile,
+    #: placement, resources) after being scheduled
+    failed: int = 0
+    #: submissions rejected before queueing: a per-tenant quota was full
+    rejected_quota: int = 0
+    #: submissions rejected with 429 + Retry-After: the lane's bounded
+    #: admission queue was saturated and the tenant had no shedding claim
+    rejected_backpressure: int = 0
+    #: queued (never committed) submissions shed to admit heavier tenants
+    shed: int = 0
+    #: submissions that expired (deadline passed) before or during commit
+    deadline_expired: int = 0
+    #: programs removed by the tenant
+    removed: int = 0
+
+    def summary(self) -> Dict[str, int]:
+        return {
+            "submitted": self.submitted,
+            "committed": self.committed,
+            "failed": self.failed,
+            "rejected_quota": self.rejected_quota,
+            "rejected_backpressure": self.rejected_backpressure,
+            "shed": self.shed,
+            "deadline_expired": self.deadline_expired,
+            "removed": self.removed,
         }

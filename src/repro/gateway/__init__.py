@@ -1,0 +1,28 @@
+"""Wire-level multi-tenant gateway in front of :class:`INCService`.
+
+``repro.gateway`` turns the in-process service into the paper's
+INC-as-a-*service*: an HTTP/JSON front door with tenant identity (API
+keys), per-tenant quotas, weighted-fair admission under saturation,
+bounded queues with backpressure, load-shedding, and per-submission
+deadlines that reach all the way into the cross-shard two-phase commit.
+Stdlib only.  See ``docs/api.md`` for the protocol and
+``docs/architecture.md`` for where this layer sits.
+"""
+
+from repro.gateway.auth import Tenant, TenantQuota, TenantRegistry
+from repro.gateway.quota import QuotaLedger
+from repro.gateway.scheduler import AdmissionTicket, WeightedFairScheduler
+from repro.gateway.server import Gateway, GatewayHTTPServer
+from repro.gateway.wire import WireError
+
+__all__ = [
+    "AdmissionTicket",
+    "Gateway",
+    "GatewayHTTPServer",
+    "QuotaLedger",
+    "Tenant",
+    "TenantQuota",
+    "TenantRegistry",
+    "WeightedFairScheduler",
+    "WireError",
+]

@@ -1,0 +1,143 @@
+"""Tenant identity for the gateway: API keys, weights, quota envelopes.
+
+The paper's service model is multi-user INC-as-a-service; on the wire a
+*user* becomes a **tenant**: an API key, a scheduling ``weight`` (its share
+of admission capacity under saturation — see
+:mod:`repro.gateway.scheduler`), a :class:`TenantQuota` envelope, and a
+:class:`~repro.core.stats.TenantCounters` bag every admission outcome lands
+in.
+
+Authentication is deliberately simple — a shared-secret API key in either
+``Authorization: Bearer <key>`` or ``X-API-Key`` — because the gateway
+fronts an in-process controller, not the open internet; the interesting
+part is what identity unlocks (quotas, weighted fairness, per-tenant
+accounting), which is exactly what the paper's millions-of-users service
+model needs first.
+"""
+
+from __future__ import annotations
+
+import hmac
+import secrets
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.stats import TenantCounters
+from repro.gateway.wire import WireError
+
+__all__ = ["Tenant", "TenantQuota", "TenantRegistry"]
+
+
+@dataclass
+class TenantQuota:
+    """Per-tenant admission ceilings; ``0`` means unlimited.
+
+    ``max_devices`` is enforced against devices already committed: a tenant
+    at or above the ceiling admits no further submissions until it removes
+    programs (placement decides device counts, so the ceiling cannot be
+    checked before the search runs).
+    """
+
+    #: deployed programs plus reservations for in-flight submissions
+    max_programs: int = 8
+    #: devices occupied by the tenant's committed programs
+    max_devices: int = 0
+    #: submissions queued or compiling at once
+    max_in_flight: int = 4
+
+
+@dataclass
+class Tenant:
+    """One authenticated tenant: identity, scheduling weight, quota, counters."""
+
+    tenant_id: str
+    api_key: str
+    #: weighted-fair share under saturation; ``0`` = best-effort only
+    #: (served when no weighted tenant has queued work, first to be shed)
+    weight: float = 1.0
+    quota: TenantQuota = field(default_factory=TenantQuota)
+    counters: TenantCounters = field(default_factory=TenantCounters)
+
+    def __post_init__(self) -> None:
+        if self.weight < 0:
+            raise ValueError("tenant weight must be >= 0")
+
+
+class TenantRegistry:
+    """API-key lookup plus tenant lifecycle for one gateway instance."""
+
+    def __init__(self) -> None:
+        self._by_id: Dict[str, Tenant] = {}
+        self._by_key: Dict[str, Tenant] = {}
+
+    # ------------------------------------------------------------------ #
+    # registration
+    # ------------------------------------------------------------------ #
+    def register(self, tenant_id: str, api_key: Optional[str] = None,
+                 weight: float = 1.0,
+                 quota: Optional[TenantQuota] = None) -> Tenant:
+        """Add a tenant; generates an API key when none is given."""
+        if tenant_id in self._by_id:
+            raise ValueError(f"tenant {tenant_id!r} is already registered")
+        if api_key is None:
+            api_key = secrets.token_urlsafe(24)
+        if api_key in self._by_key:
+            raise ValueError("API key is already in use")
+        tenant = Tenant(tenant_id=tenant_id, api_key=api_key, weight=weight,
+                        quota=quota or TenantQuota())
+        self._by_id[tenant_id] = tenant
+        self._by_key[api_key] = tenant
+        return tenant
+
+    @classmethod
+    def from_config(cls, entries: List[Dict[str, object]]) -> "TenantRegistry":
+        """Build a registry from a JSON-shaped tenant list.
+
+        Each entry: ``{"tenant": id, "api_key": key, "weight": w,
+        "quota": {"max_programs": ..., "max_devices": ...,
+        "max_in_flight": ...}}`` — everything but ``tenant`` optional.
+        """
+        registry = cls()
+        for entry in entries:
+            quota_cfg = entry.get("quota") or {}
+            registry.register(
+                str(entry["tenant"]),
+                api_key=entry.get("api_key"),
+                weight=float(entry.get("weight", 1.0)),
+                quota=TenantQuota(
+                    max_programs=int(quota_cfg.get("max_programs", 8)),
+                    max_devices=int(quota_cfg.get("max_devices", 0)),
+                    max_in_flight=int(quota_cfg.get("max_in_flight", 4)),
+                ),
+            )
+        return registry
+
+    # ------------------------------------------------------------------ #
+    # lookup
+    # ------------------------------------------------------------------ #
+    def authenticate(self, headers: Dict[str, str]) -> Tenant:
+        """Resolve the tenant from request headers, or raise 401.
+
+        Accepts ``Authorization: Bearer <key>`` or ``X-API-Key: <key>``
+        (header names case-insensitive).  Key comparison is constant-time.
+        """
+        lowered = {k.lower(): v for k, v in headers.items()}
+        key = lowered.get("x-api-key")
+        if key is None:
+            auth = lowered.get("authorization", "")
+            if auth.lower().startswith("bearer "):
+                key = auth[7:].strip()
+        if not key:
+            raise WireError(401, "unauthorized",
+                            "missing API key (Authorization: Bearer <key>"
+                            " or X-API-Key)")
+        for candidate, tenant in self._by_key.items():
+            if hmac.compare_digest(candidate, key):
+                return tenant
+        raise WireError(401, "unauthorized", "unknown API key")
+
+    def get(self, tenant_id: str) -> Optional[Tenant]:
+        return self._by_id.get(tenant_id)
+
+    def tenants(self) -> List[Tenant]:
+        return [self._by_id[tid] for tid in sorted(self._by_id)]

@@ -1,0 +1,125 @@
+"""Per-tenant quota accounting: programs, devices, in-flight submissions.
+
+The :class:`QuotaLedger` is the gateway's admission-time bookkeeping.  It
+runs entirely on the event loop (no locks): a submission **reserves** a
+program slot and an in-flight slot before it is queued, the reservation is
+**settled** when the pipeline reports back — into a committed program (with
+its device count) on success, or released on failure — and ``remove``
+releases the committed entry.  Reserving up front is what makes quota
+exhaustion *mid-wave* exact: four concurrent submissions against a
+two-program quota admit exactly two, no matter how the wave interleaves,
+because the third reservation already sees the first two.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.gateway.auth import Tenant
+from repro.gateway.wire import WireError
+
+__all__ = ["QuotaLedger"]
+
+
+def _quota_error(message: str) -> WireError:
+    return WireError(403, "quota_exceeded", message)
+
+
+@dataclass
+class _TenantUsage:
+    """Live usage of one tenant: committed programs plus reservations."""
+
+    #: wire name -> devices the committed placement occupies
+    programs: Dict[str, int] = field(default_factory=dict)
+    #: submissions reserved (queued or compiling) but not yet settled
+    in_flight: int = 0
+
+    def devices_used(self) -> int:
+        return sum(self.programs.values())
+
+
+class QuotaLedger:
+    """Admission-time quota checks and usage tracking, per tenant."""
+
+    def __init__(self) -> None:
+        self._usage: Dict[str, _TenantUsage] = {}
+
+    def _usage_of(self, tenant_id: str) -> _TenantUsage:
+        return self._usage.setdefault(tenant_id, _TenantUsage())
+
+    # ------------------------------------------------------------------ #
+    # admission
+    # ------------------------------------------------------------------ #
+    def reserve(self, tenant: Tenant, wire_name: str) -> None:
+        """Claim a program + in-flight slot for one submission, or raise.
+
+        Raises ``409 conflict`` for a name the tenant already deployed (or
+        has in flight), ``403 quota_exceeded`` when a ceiling is hit.  The
+        caller must settle every successful reservation exactly once
+        (:meth:`commit` or :meth:`release_reservation`).
+        """
+        usage = self._usage_of(tenant.tenant_id)
+        quota = tenant.quota
+        if wire_name in usage.programs:
+            raise WireError(409, "conflict",
+                            f"program {wire_name!r} is already deployed")
+        if quota.max_in_flight and usage.in_flight >= quota.max_in_flight:
+            raise _quota_error(
+                f"tenant {tenant.tenant_id!r} already has"
+                f" {usage.in_flight} submissions in flight"
+                f" (max_in_flight={quota.max_in_flight})"
+            )
+        reserved = len(usage.programs) + usage.in_flight
+        if quota.max_programs and reserved >= quota.max_programs:
+            raise _quota_error(
+                f"tenant {tenant.tenant_id!r} has {len(usage.programs)}"
+                f" programs and {usage.in_flight} in flight"
+                f" (max_programs={quota.max_programs})"
+            )
+        if quota.max_devices and usage.devices_used() >= quota.max_devices:
+            raise _quota_error(
+                f"tenant {tenant.tenant_id!r} occupies"
+                f" {usage.devices_used()} devices"
+                f" (max_devices={quota.max_devices}); remove programs to"
+                " admit new ones"
+            )
+        usage.in_flight += 1
+
+    # ------------------------------------------------------------------ #
+    # settlement
+    # ------------------------------------------------------------------ #
+    def commit(self, tenant: Tenant, wire_name: str, devices: int) -> None:
+        """Settle a reservation into a committed program."""
+        usage = self._usage_of(tenant.tenant_id)
+        usage.in_flight = max(0, usage.in_flight - 1)
+        usage.programs[wire_name] = int(devices)
+
+    def release_reservation(self, tenant: Tenant) -> None:
+        """Settle a reservation whose submission did not commit."""
+        usage = self._usage_of(tenant.tenant_id)
+        usage.in_flight = max(0, usage.in_flight - 1)
+
+    def release_program(self, tenant: Tenant, wire_name: str) -> None:
+        """Release a committed program (after a successful remove)."""
+        self._usage_of(tenant.tenant_id).programs.pop(wire_name, None)
+
+    # ------------------------------------------------------------------ #
+    # inspection
+    # ------------------------------------------------------------------ #
+    def owns(self, tenant: Tenant, wire_name: str) -> bool:
+        return wire_name in self._usage_of(tenant.tenant_id).programs
+
+    def programs(self, tenant: Tenant) -> List[str]:
+        return sorted(self._usage_of(tenant.tenant_id).programs)
+
+    def usage_summary(self, tenant: Tenant) -> Dict[str, object]:
+        usage = self._usage_of(tenant.tenant_id)
+        return {
+            "programs": len(usage.programs),
+            "devices": usage.devices_used(),
+            "in_flight": usage.in_flight,
+            "max_programs": tenant.quota.max_programs,
+            "max_devices": tenant.quota.max_devices,
+            "max_in_flight": tenant.quota.max_in_flight,
+        }

@@ -1,0 +1,323 @@
+"""Weighted-fair admission scheduling with backpressure and load-shedding.
+
+The gateway cannot just forward submissions into the service's admission
+queues: under saturation a chatty tenant would starve everyone else.  The
+:class:`WeightedFairScheduler` sits between the wire and
+:class:`~repro.core.service.INCService` and enforces three QoS properties
+per **lane** (one lane per service admission lane — per shard in sharded
+mode, plus ``cross`` for two-phase-commit traffic; see
+``INCService.lane_of``):
+
+* **Weighted fairness** — deficit round robin over per-tenant FIFO queues:
+  every scheduling round grants each backlogged tenant ``quantum × weight``
+  credit and serves whole submissions against it, so under saturation the
+  long-run share of served submissions converges to the configured weights
+  (the classic DRR guarantee; deficits persist across rounds, so truncated
+  rounds lose nothing).  Zero-weight tenants are **best-effort**: served
+  round-robin only when no weighted tenant has queued work.
+* **Backpressure** — each lane's queue is bounded.  A submission arriving
+  at a full lane is rejected with ``429`` and a ``Retry-After`` estimated
+  from the lane's observed service rate, unless —
+* **Load-shedding** — the arriving tenant's weight strictly exceeds the
+  lightest queued tenant's, in which case that tenant's newest *queued*
+  submission is shed (failed with ``503 shed``) to make room.  Only queued
+  tickets are ever shed: a submission that reached the pipeline runs to
+  completion, so committed programs are never dropped by overload.
+
+The scheduler runs entirely on the event loop; one pump task per lane pops
+batches in DRR order and dispatches them concurrently (``wave`` at a time),
+which lets the service coalesce them into one speculative compile wave.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import OrderedDict, deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional
+
+from repro.gateway.auth import Tenant
+from repro.gateway.wire import WireError
+
+__all__ = ["WeightedFairScheduler", "AdmissionTicket"]
+
+
+@dataclass
+class AdmissionTicket:
+    """One queued submission: who, what, until when, and the waiter."""
+
+    tenant: Tenant
+    request: object
+    lane: str
+    future: "asyncio.Future"
+    #: absolute ``time.monotonic()`` deadline, or None
+    deadline: Optional[float] = None
+    enqueued_at: float = field(default_factory=time.monotonic)
+
+
+@dataclass
+class _TenantQueue:
+    """One tenant's FIFO inside a lane, plus its DRR round state."""
+
+    tenant: Tenant
+    tickets: Deque[AdmissionTicket] = field(default_factory=deque)
+    deficit: float = 0.0
+    #: on the lane's active round-robin list (weighted + backlogged)
+    in_active: bool = False
+    #: this round's quantum grant already happened (set while the queue is
+    #: at the head of the active list, so a wave-truncated visit resumed by
+    #: the next batch is not granted twice)
+    granted: bool = False
+
+
+class _Lane:
+    """One admission lane: per-tenant queues, a wakeup event, a pump task."""
+
+    def __init__(self, key: str) -> None:
+        self.key = key
+        self.queues: "OrderedDict[str, _TenantQueue]" = OrderedDict()
+        #: round-robin rotation of weighted backlogged queues.  This is the
+        #: DRR round state and it must survive across batches: a batch is at
+        #: most ``wave`` wide, and restarting the rotation every batch would
+        #: let a tenant whose grant covers a whole wave starve the rest.
+        self.active: Deque[_TenantQueue] = deque()
+        self.queued = 0
+        self.wakeup = asyncio.Event()
+        self.pump: Optional["asyncio.Task"] = None
+        #: EWMA of seconds per served submission, for Retry-After hints
+        self.service_ewma_s = 0.5
+
+    def queue_for(self, tenant: Tenant) -> _TenantQueue:
+        queue = self.queues.get(tenant.tenant_id)
+        if queue is None:
+            queue = _TenantQueue(tenant=tenant)
+            self.queues[tenant.tenant_id] = queue
+        return queue
+
+    def activate(self, queue: _TenantQueue) -> None:
+        if queue.tenant.weight > 0 and not queue.in_active:
+            queue.in_active = True
+            self.active.append(queue)
+
+
+class WeightedFairScheduler:
+    """DRR admission scheduling across tenants, one pump per lane.
+
+    Parameters
+    ----------
+    dispatch:
+        ``async dispatch(ticket) -> result``; called for every scheduled
+        ticket, its return value (or exception) resolves the submitter's
+        future.  The gateway's dispatch runs the deadline check and the
+        service submit.
+    capacity:
+        Per-lane bound on queued submissions; beyond it, backpressure or
+        shedding (``0`` = unbounded, neither ever triggers).
+    wave:
+        Tickets dispatched concurrently per scheduling round — sized to the
+        service's compile-wave width so a round coalesces into one wave.
+    quantum:
+        DRR credit granted per round per unit of tenant weight.
+    """
+
+    def __init__(self, dispatch, *, capacity: int = 64, wave: int = 4,
+                 quantum: float = 1.0) -> None:
+        self._dispatch = dispatch
+        self.capacity = max(0, int(capacity))
+        self.wave = max(1, int(wave))
+        self.quantum = float(quantum)
+        self._lanes: Dict[str, _Lane] = {}
+        self._outstanding: set = set()
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # admission
+    # ------------------------------------------------------------------ #
+    def enqueue(self, lane_key: str, tenant: Tenant, request,
+                deadline: Optional[float] = None) -> "asyncio.Future":
+        """Queue one submission; returns the future resolving to its result.
+
+        Raises ``429 backpressure`` (with ``Retry-After``) when the lane is
+        full and the tenant cannot claim a shed, after shedding the
+        lightest queued tenant's newest ticket when it can.
+        """
+        if self._closed:
+            raise WireError(503, "closed", "the gateway is shutting down")
+        lane = self._lane(lane_key)
+        if self.capacity and lane.queued >= self.capacity:
+            victim = self._shed_candidate(lane, tenant)
+            if victim is None:
+                raise WireError(
+                    429, "backpressure",
+                    f"admission lane {lane_key!r} is saturated"
+                    f" ({lane.queued} queued); retry later",
+                    retry_after=self._retry_after(lane),
+                )
+            self._shed(lane, victim)
+        ticket = AdmissionTicket(
+            tenant=tenant, request=request, lane=lane_key,
+            future=asyncio.get_running_loop().create_future(),
+            deadline=deadline,
+        )
+        queue = lane.queue_for(tenant)
+        queue.tickets.append(ticket)
+        lane.activate(queue)
+        lane.queued += 1
+        self._outstanding.add(ticket.future)
+        ticket.future.add_done_callback(self._outstanding.discard)
+        lane.wakeup.set()
+        return ticket.future
+
+    def _retry_after(self, lane: _Lane) -> float:
+        estimate = lane.queued * lane.service_ewma_s
+        return min(30.0, max(0.05, estimate))
+
+    def _shed_candidate(self, lane: _Lane,
+                        arriving: Tenant) -> Optional[AdmissionTicket]:
+        """The queued ticket *arriving* may displace, or None.
+
+        The victim is the newest queued ticket of the backlogged tenant
+        with the strictly lowest weight — and only when that weight is
+        strictly below the arriving tenant's, so equal-weight tenants can
+        never shed each other and shedding can never cascade upward.
+        """
+        lightest: Optional[_TenantQueue] = None
+        for queue in lane.queues.values():
+            if not queue.tickets or queue.tenant is arriving:
+                continue
+            if lightest is None or queue.tenant.weight < lightest.tenant.weight:
+                lightest = queue
+        if lightest is None or lightest.tenant.weight >= arriving.weight:
+            return None
+        return lightest.tickets[-1]
+
+    def _shed(self, lane: _Lane, victim: AdmissionTicket) -> None:
+        queue = lane.queues[victim.tenant.tenant_id]
+        queue.tickets.remove(victim)
+        lane.queued -= 1
+        victim.tenant.counters.increment("shed")
+        if not victim.future.done():
+            victim.future.set_exception(WireError(
+                503, "shed",
+                "this queued submission was shed to admit a higher-weight"
+                " tenant under saturation; it never reached the pipeline",
+            ))
+
+    # ------------------------------------------------------------------ #
+    # the DRR pump
+    # ------------------------------------------------------------------ #
+    def _lane(self, key: str) -> _Lane:
+        lane = self._lanes.get(key)
+        if lane is None:
+            lane = _Lane(key)
+            self._lanes[key] = lane
+            lane.pump = asyncio.get_running_loop().create_task(
+                self._pump(lane)
+            )
+        return lane
+
+    def _next_batch(self, lane: _Lane) -> List[AdmissionTicket]:
+        """Pop up to ``wave`` tickets in deficit-round-robin order.
+
+        The rotation (``lane.active``) persists across calls: a visit the
+        wave cut short resumes — with its remaining deficit and without a
+        fresh grant — at the head of the next batch, so cumulative service
+        tracks the weight ratio no matter how narrow the wave is.
+        """
+        batch: List[AdmissionTicket] = []
+        while lane.active and len(batch) < self.wave:
+            queue = lane.active[0]
+            if not queue.granted:
+                queue.deficit += self.quantum * queue.tenant.weight
+                queue.granted = True
+            while (queue.deficit >= 1.0 and queue.tickets
+                   and len(batch) < self.wave):
+                batch.append(queue.tickets.popleft())
+                queue.deficit -= 1.0
+            if queue.tickets and queue.deficit >= 1.0:
+                # the wave is full mid-visit: stay at the head, keep both
+                # the unspent deficit and the granted flag
+                break
+            # visit over: rotate while backlogged, retire when empty
+            queue.granted = False
+            lane.active.popleft()
+            if queue.tickets:
+                lane.active.append(queue)
+            else:
+                # standard DRR: an emptied queue banks no credit
+                queue.deficit = 0.0
+                queue.in_active = False
+        if len(batch) < self.wave:
+            # best-effort round: zero-weight tenants, one ticket each per
+            # pass, filling only the capacity weighted tenants left unused
+            best_effort = [q for q in lane.queues.values()
+                           if q.tickets and q.tenant.weight == 0]
+            while best_effort and len(batch) < self.wave:
+                for queue in best_effort:
+                    if queue.tickets and len(batch) < self.wave:
+                        batch.append(queue.tickets.popleft())
+                best_effort = [q for q in best_effort if q.tickets]
+        lane.queued -= len(batch)
+        return batch
+
+    async def _pump(self, lane: _Lane) -> None:
+        while True:
+            await lane.wakeup.wait()
+            batch = self._next_batch(lane)
+            if not batch:
+                lane.wakeup.clear()
+                continue
+            started = time.monotonic()
+            await asyncio.gather(
+                *(self._run_ticket(ticket) for ticket in batch)
+            )
+            per_ticket = (time.monotonic() - started) / len(batch)
+            lane.service_ewma_s += 0.3 * (per_ticket - lane.service_ewma_s)
+
+    async def _run_ticket(self, ticket: AdmissionTicket) -> None:
+        try:
+            result = await self._dispatch(ticket)
+        except Exception as exc:
+            if not ticket.future.done():
+                ticket.future.set_exception(exc)
+            return
+        if not ticket.future.done():
+            ticket.future.set_result(result)
+
+    # ------------------------------------------------------------------ #
+    # lifecycle + inspection
+    # ------------------------------------------------------------------ #
+    def queue_depths(self) -> Dict[str, int]:
+        return {key: lane.queued for key, lane in sorted(self._lanes.items())}
+
+    async def drain(self) -> None:
+        """Wait until every ticket admitted so far has resolved."""
+        pending = [f for f in self._outstanding if not f.done()]
+        if pending:
+            await asyncio.gather(*pending, return_exceptions=True)
+
+    async def close(self) -> None:
+        """Stop the pumps; queued (undispatched) tickets fail with 503."""
+        if self._closed:
+            return
+        self._closed = True
+        for lane in self._lanes.values():
+            if lane.pump is not None:
+                lane.pump.cancel()
+            for queue in lane.queues.values():
+                while queue.tickets:
+                    ticket = queue.tickets.popleft()
+                    lane.queued -= 1
+                    if not ticket.future.done():
+                        ticket.future.set_exception(WireError(
+                            503, "closed", "the gateway closed before this"
+                            " submission was dispatched"))
+        pumps = [lane.pump for lane in self._lanes.values()
+                 if lane.pump is not None]
+        for pump in pumps:
+            try:
+                await pump
+            except asyncio.CancelledError:
+                pass
+        self._lanes.clear()

@@ -1,0 +1,212 @@
+"""The gateway wire schema: JSON payloads, error codes, report rendering.
+
+Everything that crosses the wire is plain JSON over HTTP (stdlib only — no
+framework).  This module is the single place where wire payloads are
+validated and turned into the library's native types
+(:class:`~repro.core.pipeline.DeployRequest`,
+:class:`~repro.lang.profile.Profile`) and back
+(:class:`~repro.core.pipeline.PipelineReport` summaries), so the HTTP
+server, the in-process test harness and the docs all speak exactly one
+schema.  See ``docs/api.md`` for the full protocol reference.
+
+Errors are :class:`WireError`\\ s: an HTTP status, a stable machine-readable
+``code``, a human message, and (for backpressure) a ``Retry-After`` hint.
+The admission-control outcomes map onto HTTP like this:
+
+===========================  ======  =======================================
+code                         status  meaning
+===========================  ======  =======================================
+``bad_request``              400     malformed JSON / schema violation
+``unauthorized``             401     missing or unknown API key
+``quota_exceeded``           403     a per-tenant quota is full; retrying
+                                     cannot help until capacity is released
+``not_found``                404     unknown program or endpoint
+``method_not_allowed``       405     endpoint exists, verb does not
+``conflict``                 409     program name already deployed
+``backpressure``             429     the lane's bounded admission queue is
+                                     saturated; retry after ``Retry-After``
+``shed``                     503     a queued submission was shed to admit a
+                                     heavier tenant under saturation
+``deadline_expired``         504     the submission's deadline passed before
+                                     it committed (queued, or 2PC abort)
+===========================  ======  =======================================
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Optional, Tuple
+
+from repro.core.pipeline import DeployRequest, PipelineReport
+from repro.exceptions import ClickINCError
+from repro.lang.profile import KNOWN_APPS, Profile, TrafficSpec, default_profile
+
+__all__ = [
+    "WireError",
+    "bad_request",
+    "parse_submit_payload",
+    "parse_update_payload",
+    "report_payload",
+]
+
+#: Wire program names: one path segment, no separators the gateway uses.
+_NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9_\-]{0,63}$")
+
+
+class WireError(ClickINCError):
+    """A request rejected at the gateway, with its HTTP rendering attached.
+
+    Raised anywhere between HTTP parsing and admission; the server turns it
+    into a JSON error body (``{"error": code, "message": ...}``) plus the
+    carried status and, when ``retry_after`` is set, a ``Retry-After``
+    header.
+    """
+
+    def __init__(self, status: int, code: str, message: str,
+                 retry_after: Optional[float] = None) -> None:
+        super().__init__(message)
+        self.status = int(status)
+        self.code = code
+        self.retry_after = retry_after
+
+    def payload(self) -> Dict[str, object]:
+        body: Dict[str, object] = {"error": self.code, "message": str(self)}
+        if self.retry_after is not None:
+            body["retry_after"] = round(float(self.retry_after), 3)
+        return body
+
+
+def bad_request(message: str) -> WireError:
+    return WireError(400, "bad_request", message)
+
+
+def _require(payload: Dict[str, object], field: str, kind) -> object:
+    value = payload.get(field)
+    if not isinstance(value, kind):
+        raise bad_request(
+            f"field {field!r} is required and must be a"
+            f" {getattr(kind, '__name__', kind)}"
+        )
+    return value
+
+
+def parse_wire_name(name: object) -> str:
+    if not isinstance(name, str) or not _NAME_RE.match(name):
+        raise bad_request(
+            "field 'name' must match [A-Za-z0-9][A-Za-z0-9_-]{0,63}"
+        )
+    return name
+
+
+def _parse_profile(payload: Dict[str, object], user: str) -> Profile:
+    app = payload.get("app")
+    if app not in KNOWN_APPS:
+        raise bad_request(f"field 'app' must be one of {KNOWN_APPS}")
+    try:
+        profile = default_profile(app, user=user)
+    except ClickINCError as exc:
+        raise bad_request(str(exc))
+    performance = payload.get("performance")
+    if performance is not None:
+        if not isinstance(performance, dict):
+            raise bad_request("field 'performance' must be an object")
+        profile.performance.update(performance)
+    traffic = payload.get("traffic")
+    if traffic is not None:
+        if not isinstance(traffic, dict) or not all(
+            isinstance(v, (int, float)) for v in traffic.values()
+        ):
+            raise bad_request(
+                "field 'traffic' must map client names to rates (pps)"
+            )
+        profile.traffic = TrafficSpec(
+            {str(k): float(v) for k, v in traffic.items()}
+        )
+    return profile
+
+
+def parse_submit_payload(payload: Dict[str, object], tenant_id: str,
+                         internal_name: str
+                         ) -> Tuple[DeployRequest, Optional[float]]:
+    """Validate a ``POST /v1/programs`` body into a :class:`DeployRequest`.
+
+    The request is built under *internal_name* (the tenant-prefixed name the
+    controller sees); the caller keeps the wire-name mapping.  Returns the
+    request plus the optional relative deadline in seconds.
+    """
+    if not isinstance(payload, dict):
+        raise bad_request("the request body must be a JSON object")
+    source_groups = _require(payload, "source_groups", list)
+    if not source_groups or not all(isinstance(g, str) for g in source_groups):
+        raise bad_request("field 'source_groups' must be a non-empty list of"
+                          " host-group names")
+    destination = _require(payload, "destination_group", str)
+    deadline_s = payload.get("deadline_s")
+    if deadline_s is not None:
+        if not isinstance(deadline_s, (int, float)) or deadline_s <= 0:
+            raise bad_request("field 'deadline_s' must be a positive number")
+        deadline_s = float(deadline_s)
+
+    has_app = "app" in payload
+    has_source = "source" in payload
+    if has_app == has_source:
+        raise bad_request("exactly one of 'app' (template) or 'source'"
+                          " (ClickINC program text) is required")
+    try:
+        if has_app:
+            request = DeployRequest(
+                source_groups=list(source_groups),
+                destination_group=destination,
+                name=internal_name,
+                profile=_parse_profile(payload, user=tenant_id),
+                traffic_rates=payload.get("traffic_rates"),
+            )
+        else:
+            source = _require(payload, "source", str)
+            request = DeployRequest(
+                source_groups=list(source_groups),
+                destination_group=destination,
+                name=internal_name,
+                source=source,
+                constants=payload.get("constants"),
+                header_fields=payload.get("header_fields"),
+                traffic_rates=payload.get("traffic_rates"),
+            )
+    except WireError:
+        raise
+    except ClickINCError as exc:
+        raise bad_request(str(exc))
+    return request, deadline_s
+
+
+def parse_update_payload(payload: Dict[str, object],
+                         tenant_id: str) -> Dict[str, object]:
+    """Validate a program-update body into ``INCService.update`` kwargs."""
+    if not isinstance(payload, dict):
+        raise bad_request("the request body must be a JSON object")
+    if ("app" in payload) == ("source" in payload):
+        raise bad_request("exactly one of 'app' (template) or 'source'"
+                          " (ClickINC program text) is required")
+    if "app" in payload:
+        return {"profile": _parse_profile(payload, user=tenant_id)}
+    kwargs: Dict[str, object] = {"source": _require(payload, "source", str)}
+    if payload.get("constants") is not None:
+        kwargs["constants"] = payload["constants"]
+    return kwargs
+
+
+def report_payload(report: PipelineReport, wire_name: str) -> Dict[str, object]:
+    """Render a :class:`PipelineReport` for the wire, under the wire name."""
+    body: Dict[str, object] = {
+        "program": wire_name,
+        "succeeded": bool(report.succeeded),
+        "total_s": round(report.total_s, 4),
+    }
+    if not report.succeeded:
+        body["failed_stage"] = report.failed_stage
+        body["error"] = report.error
+    if report.deployed is not None:
+        body["devices"] = sorted(report.deployed.devices())
+    if report.stages:
+        body["cache_hits"] = report.cache_hits()
+    return body

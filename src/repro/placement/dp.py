@@ -13,7 +13,7 @@ so far along every path through this node", and the recurrence tries every
 interval the current node could host, pruning intervals whose capability or
 resource requirements the node cannot satisfy (paper's constraint pruning).
 
-Fabric-scale search (ROADMAP item 3) adds three coordinated optimisations,
+Fabric-scale search adds three coordinated optimisations,
 all enabled by default and all provably plan-identical to the reference
 search (``DPPlacer(topology, optimize=False)``, asserted by the differential
 tests in ``tests/test_placement_scale.py``):

@@ -1,4 +1,4 @@
-"""Cross-epoch memoisation for the DP placer (ROADMAP item 3).
+"""Cross-epoch memoisation for the DP placer.
 
 The DP search of :class:`~repro.placement.dp.DPPlacer` decomposes into three
 kinds of sub-solutions, each cached here across ``place()`` calls:

@@ -49,7 +49,7 @@ from typing import Dict, List, Optional, Sequence
 from repro.core.controller import ClickINC
 from repro.core.parallel import SpeculativeResult
 from repro.core.pipeline import DeployRequest, PipelineReport
-from repro.core.service import ServiceStats
+from repro.core.service import ServiceStats, deadline_report
 from repro.exceptions import DeploymentError
 from repro.runtime.manager import MigrationReport
 from repro.sharding.shard import ControllerShard
@@ -153,6 +153,10 @@ class ShardCoordinator:
         #: phase of a cross-shard commit (the window in which a concurrent
         #: intra-shard commit forces an aborted prepare)
         self._pre_prepare_hook = None
+        #: test hook: called between a clean prepare vote and the commit
+        #: wave, with the touched shards' locks held (the window in which a
+        #: passing deadline must abort instead of committing late)
+        self._post_prepare_hook = None
 
     # ------------------------------------------------------------------ #
     # routing
@@ -245,28 +249,38 @@ class ShardCoordinator:
     # ------------------------------------------------------------------ #
     # deployment
     # ------------------------------------------------------------------ #
-    def deploy(self, request: DeployRequest) -> PipelineReport:
+    def deploy(self, request: DeployRequest,
+               deadline: Optional[float] = None) -> PipelineReport:
         """Deploy one request, routed to its shard or the cross-shard path.
 
         Failures are captured in the returned report (``succeeded=False``,
         ``error``, ``failed_stage``), exactly as in ``deploy_many``.
+
+        *deadline* (absolute ``time.monotonic()``) applies to cross-shard
+        requests: a deadline passing inside the two-phase commit — before
+        the prepare, or between a clean prepare vote and the commit wave —
+        **aborts** the commit instead of landing it late.  Nothing has been
+        committed at either abort point, so the abort is residue-free by the
+        same construction as a conflict abort.
         """
         touched, route_error = self._route(request)
         if route_error is not None:
             return route_error
         if len(touched) == 1:
             return self.deploy_wave(touched[0], [request])[0]
-        return self._deploy_cross_claimed(request, touched)
+        return self._deploy_cross_claimed(request, touched, deadline=deadline)
 
     def _deploy_cross_claimed(self, request: DeployRequest,
-                              touched: Sequence[str]) -> PipelineReport:
+                              touched: Sequence[str],
+                              deadline: Optional[float] = None
+                              ) -> PipelineReport:
         """Claim the name, run the 2PC, settle (or release) the claim."""
         name = request.resolved_name()
         claim_error = self._claim(name)
         if claim_error is not None:
             return self._failed_report(name, claim_error)
         try:
-            report = self._deploy_cross(request, touched)
+            report = self._deploy_cross(request, touched, deadline=deadline)
         except Exception:
             self._resolve_claim(name, None)
             raise
@@ -372,7 +386,8 @@ class ShardCoordinator:
     # the cross-shard two-phase commit
     # ------------------------------------------------------------------ #
     def _deploy_cross(self, request: DeployRequest,
-                      touched: Sequence[str]) -> PipelineReport:
+                      touched: Sequence[str],
+                      deadline: Optional[float] = None) -> PipelineReport:
         """Speculative place → per-shard prepare → atomic commit wave."""
         started = time.perf_counter()
         pipeline = self.inter.pipeline
@@ -413,6 +428,17 @@ class ShardCoordinator:
         if self._pre_prepare_hook is not None:
             self._pre_prepare_hook()
 
+        # the deadline gates lock acquisition: a 2PC already past it must
+        # not take the touched shards' locks just to commit late
+        if deadline is not None and time.monotonic() > deadline:
+            self.stats.increment("deadline_aborts")
+            return deadline_report(
+                report.program_name,
+                "the submission's deadline passed before the cross-shard "
+                "prepare; the two-phase commit was aborted (nothing was "
+                "committed)",
+            )
+
         # phase 2 (inter lock + touched shards' locks only): validate-or-
         # abort prepare, then the commit wave.  Untouched shards keep
         # committing throughout.
@@ -429,6 +455,21 @@ class ShardCoordinator:
                     for shard_id in conflicts:
                         self.shards[shard_id].stats.increment("aborted_prepares")
                     result.plan = None
+            if self._post_prepare_hook is not None:
+                self._post_prepare_hook()
+            if deadline is not None and time.monotonic() > deadline:
+                # the deadline passed between the prepare vote and the
+                # commit wave.  Every shard voted, but nothing has been
+                # committed yet, so aborting here is as residue-free as a
+                # conflict abort — the locks release with every shard's
+                # allocation state and plan cache byte-identical.
+                self.stats.increment("deadline_aborts")
+                return deadline_report(
+                    report.program_name,
+                    "the submission's deadline passed between the prepare "
+                    "vote and the commit wave; the two-phase commit was "
+                    "aborted (nothing was committed)",
+                )
             report = pipeline.commit_speculative_result(
                 request, result, report, started
             )

@@ -1,0 +1,30 @@
+"""Docs stay wired to the tree: links resolve, quickstart compiles.
+
+The `docs` CI job (tools/docs_check.py) additionally *executes* the
+quickstart against an in-process gateway; here we keep the cheap
+structural checks in tier-1 so a broken link or a syntax error in the
+fenced block fails fast everywhere.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "tools"))
+
+import docs_check  # noqa: E402
+
+
+def test_relative_links_resolve():
+    assert docs_check.check_links() == []
+
+
+def test_doc_set_present():
+    names = {path.name for path in docs_check.DOC_FILES}
+    assert {"architecture.md", "api.md", "operations.md",
+            "README.md", "CONTRIBUTING.md"} <= names
+
+
+def test_quickstart_block_compiles():
+    source = docs_check.extract_quickstart()
+    assert "Gateway(" in source and "asyncio.run(main())" in source
+    compile(source, "docs/api.md#docs-quickstart", "exec")

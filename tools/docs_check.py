@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Keep the docs honest: link check + executable quickstart.
+
+Run by the `docs` CI job (and fine to run locally):
+
+    PYTHONPATH=src python tools/docs_check.py
+
+Two checks, both hard failures:
+
+1. **Relative links** — every `[text](target)` in `docs/*.md`,
+   `README.md` and `CONTRIBUTING.md` whose target is not an absolute
+   URL or a pure `#fragment` must resolve to an existing file or
+   directory (relative to the markdown file; fragments are stripped
+   before the existence check).
+2. **Quickstart execution** — the first fenced ```python block in
+   `docs/api.md` that starts with `# docs-quickstart` is extracted and
+   executed in-process.  The protocol reference cannot drift from the
+   implementation without breaking the build.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+#: markdown files whose relative links must resolve
+DOC_FILES = sorted((REPO / "docs").glob("*.md")) + [
+    REPO / "README.md",
+    REPO / "CONTRIBUTING.md",
+]
+
+#: inline markdown links: [text](target) — images too, via ![alt](target)
+_LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+#: fenced python blocks; group 1 is the body
+_FENCE_RE = re.compile(r"```python\n(.*?)```", re.DOTALL)
+
+
+def iter_links(markdown: str):
+    """Yield link targets, skipping fenced code blocks (they hold code,
+    not prose, and things like `dict[str](...)` would false-positive)."""
+    prose = re.sub(r"```.*?```", "", markdown, flags=re.DOTALL)
+    for match in _LINK_RE.finditer(prose):
+        yield match.group(1)
+
+
+def check_links() -> list:
+    failures = []
+    for doc in DOC_FILES:
+        if not doc.exists():
+            failures.append(f"{doc.relative_to(REPO)}: file missing")
+            continue
+        for target in iter_links(doc.read_text(encoding="utf-8")):
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            path_part = target.split("#", 1)[0]
+            if not path_part:  # pure in-page fragment
+                continue
+            resolved = (doc.parent / path_part).resolve()
+            if not resolved.exists():
+                failures.append(
+                    f"{doc.relative_to(REPO)}: broken link -> {target}")
+    return failures
+
+
+def extract_quickstart() -> str:
+    api = (REPO / "docs" / "api.md").read_text(encoding="utf-8")
+    for match in _FENCE_RE.finditer(api):
+        body = match.group(1)
+        if body.lstrip().startswith("# docs-quickstart"):
+            return body
+    raise SystemExit(
+        "docs/api.md: no ```python block starting with '# docs-quickstart'")
+
+
+def run_quickstart() -> None:
+    source = extract_quickstart()
+    code = compile(source, "docs/api.md#docs-quickstart", "exec")
+    exec(code, {"__name__": "__docs_quickstart__"})
+
+
+def main() -> int:
+    failures = check_links()
+    if failures:
+        for failure in failures:
+            print(f"LINK FAIL  {failure}")
+        return 1
+    print(f"links ok   {len(DOC_FILES)} files checked")
+
+    print("quickstart running docs/api.md#docs-quickstart ...")
+    run_quickstart()
+    print("quickstart ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
