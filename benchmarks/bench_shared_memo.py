@@ -1,0 +1,300 @@
+"""Shared cross-process placement-memo benchmark.
+
+Two service-shaped measurements of :class:`~repro.placement.memo.SharedPlacementMemo`
+on a fabric-scale (k=32, 1280-device) drifted fat-tree:
+
+1. **Shared vs private memo, workers=4 speculative wave** — eight
+   aggregation tenants stream from pods 0..7 to a shared destination pod,
+   so their DP searches share the dominant sub-solutions (the ~256-device
+   core layer and the destination-pod sub-tree) and differ only in the
+   per-request client pod.  With the default shared memo, one sequential
+   warm-up solve seeds the parent store, the worker pool forks with that
+   snapshot, and the batch wave mostly re-derives client pods.  With a
+   private :class:`~repro.placement.memo.PlacementMemo` every worker
+   re-derives the shared work from scratch.  The shared wave must be at
+   least 1.5x faster while producing byte-identical plans.
+
+2. **Warm restart** — the parent memo (which absorbed the workers' delta
+   blobs during the wave) is persisted with ``save()`` and restored into a
+   fresh controller via ``memo_path=``.  Re-placing the whole workload on
+   the restarted controller must skip >= 80% of the cold solve's memo
+   derivations (device feasibility checks, interval evaluations and
+   sub-tree table solves), proving the persisted entries actually serve.
+
+The wave is measured with ``compile_batch`` (speculative placement only,
+no commits): the tenants share destination-pod and core devices, so a
+commit phase would invalidate every later speculative plan and the
+sequential conflict re-places would drown the memo signal in both modes.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import tempfile
+import time
+from typing import Dict, List
+
+from benchmarks.conftest import print_table
+from benchmarks.bench_parallel_deploy import usable_cores
+from repro.core import ClickINC, DeployRequest
+from repro.frontend import compile_template
+from repro.lang.profile import default_profile
+from repro.placement import DPPlacer, PlacementMemo, PlacementRequest
+from repro.topology.fattree import build_fattree
+
+#: fat-tree arity: k=32 -> 1280 devices (the fabric-scale scenario the
+#: scaling suite targets)
+MEMO_K = 32
+#: the same seeded background drift as bench_fig14_scaling: symmetric
+#: devices must differ in *content*, or the content-addressed memo would
+#: collapse even the private-memo baseline and hide the sharing win
+MEMO_DRIFT_SEED = 42
+#: worker processes for the speculative wave (the ISSUE's acceptance point)
+MEMO_WORKERS = 4
+#: source pods 0..N-1 all aggregate towards the last pod
+MEMO_TENANTS = 8
+
+#: gate floors (mirrored in BENCH_baseline.json)
+MIN_SHARED_SPEEDUP = 1.5
+MIN_WARM_RESTART_REUSE = 0.8
+
+
+def _drifted_fattree():
+    topo = build_fattree(k=MEMO_K)
+    rng = random.Random(MEMO_DRIFT_SEED)
+    for name in sorted(topo.devices):
+        device = topo.devices[name]
+        for stage in rng.sample(range(device.num_stages),
+                                k=min(3, device.num_stages)):
+            device.allocate_stage(stage, {"instructions": float(rng.randint(1, 6))})
+    return topo
+
+
+def _tenant_requests(reduced: bool) -> List[DeployRequest]:
+    """Pre-compiled MLAgg tenants pod0..pod7 -> pod31, one name each.
+
+    The programs are content-identical under distinct names; the placement
+    memo's context digest is name-normalised, so the tenants share every
+    sub-solution their reduced trees have in common (core layer +
+    destination pod) while still being distinct deployments.
+    """
+    profile = default_profile("MLAgg")
+    profile.performance["dim"] = 16 if reduced else 32
+    profile.performance["depth"] = 512 if reduced else 1024
+    base = compile_template(profile, name="mlagg_sm_p0")
+    destination = f"pod{MEMO_K - 1}(a)"
+    requests = []
+    for pod in range(MEMO_TENANTS):
+        name = f"mlagg_sm_p{pod}"
+        requests.append(
+            DeployRequest(
+                source_groups=[f"pod{pod}(a)"],
+                destination_group=destination,
+                name=name,
+                program=base if pod == 0 else base.rebrand(name),
+            )
+        )
+    return requests
+
+
+def _spawn_request() -> DeployRequest:
+    """A tiny intra-pod tenant that forces the lazy worker fork.
+
+    ``ProcessPoolExecutor`` only spawns its workers at the first submit, so
+    an untimed single-request batch moves the fork (and each worker's
+    snapshot initialisation) out of the measured wave.  The tenant lives in
+    pod 8 — clear of the wave's client pods 0..7, the core layer (intra-pod
+    traffic never leaves the pod) and the destination pod — so the memo
+    entries it derives are irrelevant to the measurement in both modes.
+    """
+    profile = default_profile("KVS", user="spawn")
+    profile.performance["depth"] = 100
+    return DeployRequest(
+        source_groups=[f"pod{MEMO_TENANTS}(a)"],
+        destination_group=f"pod{MEMO_TENANTS}(b)",
+        name="kvs_spawn",
+        profile=profile,
+    )
+
+
+def _placement_request(request: DeployRequest) -> PlacementRequest:
+    """The search input ``compile_batch`` workers build for *request*.
+
+    Sequential warm-up / reference placements must share the workers'
+    context digest, so every placement parameter matches the worker path
+    (``adaptive_weights=True`` is the controller default the pool inherits).
+    """
+    return PlacementRequest(
+        program=request.program,
+        source_groups=list(request.source_groups),
+        destination_group=request.destination_group,
+        adaptive_weights=True,
+    )
+
+
+def _plan_identity_key(plan):
+    return (
+        plan.gain,
+        tuple((a.block_id, a.ec_id, tuple(a.device_names), a.step)
+              for a in plan.assignments),
+        tuple(sorted(plan.device_fingerprints.items())),
+    )
+
+
+def _derivations(counters: Dict[str, int]) -> int:
+    """Memo-missable work actually performed by a placer.
+
+    Each term counts one class of derivation net of its memo hits: device
+    feasibility probes, interval gain evaluations, and sub-tree DP table
+    solves (a memo-served table never reaches the solver, so ``subtree_solves``
+    needs no subtraction).
+    """
+    return (
+        counters.get("device_checks", 0) - counters.get("device_memo_hits", 0)
+        + counters.get("interval_evals", 0) - counters.get("interval_memo_hits", 0)
+        + counters.get("subtree_solves", 0)
+    )
+
+
+def _time_wave(controller: ClickINC, requests: List[DeployRequest],
+               prewarm: bool) -> Dict[str, object]:
+    """One speculative workers=4 wave; tenant 0 pre-warms sequentially.
+
+    The pre-warm runs *before* the pool exists, so with a shared memo the
+    pool-init snapshot carries the warm-up's sub-solutions into every
+    worker.  The private-memo baseline runs the identical schedule — its
+    warm-up populates only the parent's memo, which workers cannot see —
+    so both modes time the same seven-request wave.
+    """
+    wave = requests
+    if prewarm:
+        controller.placer.place(_placement_request(requests[0]))
+        wave = requests[1:]
+    service = controller.pipeline.parallel_service(MEMO_WORKERS)
+    spawn = service.compile_batch([_spawn_request()])
+    assert spawn[0].error is None, spawn[0].error
+    start = time.perf_counter()
+    results = service.compile_batch(wave)
+    wave_s = time.perf_counter() - start
+    errors = [r.error for r in results if r.error is not None]
+    if errors:
+        raise AssertionError(f"speculative wave failed: {errors}")
+    return {
+        "wave_s": wave_s,
+        "plans": [_plan_identity_key(r.plan) for r in results],
+    }
+
+
+def run_shared_wave(reduced: bool = True) -> Dict[str, object]:
+    """Shared-memo wave vs private-memo wave on identical fabrics."""
+    requests = _tenant_requests(reduced)
+
+    topo = _drifted_fattree()
+    shared = ClickINC(topo, generate_code=False)
+    try:
+        shared_result = _time_wave(shared, requests, prewarm=True)
+        memo_summary = shared.memo.summary()
+    finally:
+        shared.close()
+
+    private = ClickINC(_drifted_fattree(), generate_code=False,
+                       memo=PlacementMemo())
+    try:
+        private_result = _time_wave(private, requests, prewarm=True)
+    finally:
+        private.close()
+
+    return {
+        "n": len(requests) - 1,   # tenant 0 is the warm-up in both modes
+        "workers": MEMO_WORKERS,
+        "devices": len(topo.devices),
+        "shared_wave_s": shared_result["wave_s"],
+        "private_wave_s": private_result["wave_s"],
+        "shared_memo_speedup": (
+            private_result["wave_s"] / max(shared_result["wave_s"], 1e-9)
+        ),
+        "plans_identical": shared_result["plans"] == private_result["plans"],
+        "memo": memo_summary,
+        "shared_memo": shared.memo,
+    }
+
+
+def run_warm_restart(memo, reduced: bool = True) -> Dict[str, object]:
+    """Persist *memo*, restore into a fresh controller, count derivations.
+
+    The cold reference is a private placer on the same fabric solving the
+    identical workload; both sides place sequentially and commit-free, so
+    the derivation counters isolate exactly what the restored file saves.
+    """
+    requests = _tenant_requests(reduced)
+    tmpdir = tempfile.mkdtemp(prefix="clickinc_memo_")
+    path = os.path.join(tmpdir, "placement_memo.bin")
+
+    # an identically-drifted fabric stands in for the restarted controller's
+    # topology: no wave request ever committed, so its fingerprints match
+    # the memo entries' consultation stamps exactly
+    topo = _drifted_fattree()
+    persisted = memo.save(path, topo)
+
+    warm = ClickINC(topo, generate_code=False, memo_path=path)
+    try:
+        restored = warm.memo.counters.restored_entries
+        for request in requests:
+            warm.placer.place(_placement_request(request))
+        warm_counters = warm.placer.profile.counters.summary()
+    finally:
+        warm.close()
+        os.unlink(path)
+        os.rmdir(tmpdir)
+
+    # placement is commit-free, so the cold reference can share the fabric
+    cold_placer = DPPlacer(topo)
+    for request in requests:
+        cold_placer.place(_placement_request(request))
+    cold_counters = cold_placer.profile.counters.summary()
+
+    warm_derivs = _derivations(warm_counters)
+    cold_derivs = max(1, _derivations(cold_counters))
+    return {
+        "persisted_entries": persisted,
+        "restored_entries": restored,
+        "warm_derivations": warm_derivs,
+        "cold_derivations": cold_derivs,
+        "warm_restart_reuse": 1.0 - warm_derivs / cold_derivs,
+    }
+
+
+def run_all(reduced: bool = True) -> Dict[str, object]:
+    wave = run_shared_wave(reduced=reduced)
+    restart = run_warm_restart(wave.pop("shared_memo"), reduced=reduced)
+    return {"wave": wave, "restart": restart}
+
+
+def test_shared_memo_wave_and_restart(benchmark):
+    results = benchmark.pedantic(run_all, kwargs={"reduced": True},
+                                 rounds=1, iterations=1)
+    wave = results["wave"]
+    restart = results["restart"]
+    print_table(
+        "Shared vs private memo: workers=4 speculative wave (1280 devices)",
+        ["tenants", "private (s)", "shared (s)", "speedup", "identical"],
+        [[wave["n"], f"{wave['private_wave_s']:.3f}",
+          f"{wave['shared_wave_s']:.3f}",
+          f"{wave['shared_memo_speedup']:.1f}x", wave["plans_identical"]]],
+    )
+    print_table(
+        "Warm restart from the persisted memo file",
+        ["persisted", "restored", "cold derivs", "warm derivs", "reuse"],
+        [[restart["persisted_entries"], restart["restored_entries"],
+          restart["cold_derivations"], restart["warm_derivations"],
+          f"{restart['warm_restart_reuse']:.1%}"]],
+    )
+    assert wave["plans_identical"]
+    assert restart["restored_entries"] > 0
+    assert restart["warm_restart_reuse"] >= MIN_WARM_RESTART_REUSE
+    # the hard speedup floor is enforced by the regression gate on machines
+    # with the cores to back it; the bench harness only checks sharing is
+    # not a pessimisation
+    if usable_cores() >= MEMO_WORKERS:
+        assert wave["shared_memo_speedup"] > 1.0

@@ -37,7 +37,14 @@ non-zero when
 * a warm placer's re-place after a single-device delta is less than
   ``min_incremental_speedup`` times faster than the cold solve,
 * the incremental plan stops being byte-identical to the cold plan, or
-  the warm run stops hitting the cross-epoch memo at all.
+  the warm run stops hitting the cross-epoch memo at all,
+* the shared-memo workers=4 speculative wave
+  (:mod:`benchmarks.bench_shared_memo`) is less than
+  ``min_shared_memo_speedup`` times faster than the private-memo wave,
+  its plans diverge from the private-memo baseline, a warm restart from
+  the persisted memo file restores nothing, or the restarted controller
+  skips less than ``min_warm_restart_reuse`` of the cold solve's memo
+  derivations.
 
 ``--suite gateway`` runs the multi-tenant gateway QoS benchmark
 (:mod:`benchmarks.bench_gateway_qos`) and fails when
@@ -82,6 +89,9 @@ from benchmarks.bench_runtime_migration import (  # noqa: E402
     run_all as run_runtime_migration,
 )
 from benchmarks.bench_fig14_scaling import run_scaling  # noqa: E402
+from benchmarks.bench_shared_memo import (  # noqa: E402
+    run_all as run_shared_memo,
+)
 from benchmarks.bench_gateway_qos import (  # noqa: E402
     run_all as run_gateway_qos,
 )
@@ -153,6 +163,9 @@ def measure() -> dict:
 def measure_scaling(reduced: bool = True) -> dict:
     result = run_scaling(reduced=reduced)
     warm = result["warm_counters"]
+    shared = run_shared_memo(reduced=reduced)
+    wave = shared["wave"]
+    restart = shared["restart"]
     return {
         "generated_unix_time": int(time.time()),
         "scaling_reduced_workload": bool(result["reduced"]),
@@ -168,6 +181,17 @@ def measure_scaling(reduced: bool = True) -> dict:
         "scaling_subtree_memo_hits": warm["subtree_memo_hits"],
         "scaling_device_checks_warm": warm["device_checks"],
         "scaling_device_checks_cold": result["cold_counters"]["device_checks"],
+        "shared_memo_workers": wave["workers"],
+        "shared_memo_wave_n": wave["n"],
+        "shared_memo_private_wave_s": round(wave["private_wave_s"], 4),
+        "shared_memo_shared_wave_s": round(wave["shared_wave_s"], 4),
+        "shared_memo_speedup": round(wave["shared_memo_speedup"], 3),
+        "shared_memo_plans_identical": bool(wave["plans_identical"]),
+        "shared_memo_persisted_entries": restart["persisted_entries"],
+        "shared_memo_restored_entries": restart["restored_entries"],
+        "warm_restart_derivations": restart["warm_derivations"],
+        "warm_restart_cold_derivations": restart["cold_derivations"],
+        "warm_restart_reuse": round(restart["warm_restart_reuse"], 4),
     }
 
 
@@ -279,6 +303,35 @@ def check_scaling(measured: dict, baseline: dict) -> list:
         failures.append(
             "the warm re-place never hit the cross-epoch interval memo —"
             " incremental placement is silently solving from scratch"
+        )
+    min_shared = float(baseline.get("min_shared_memo_speedup", 1.5))
+    if measured["shared_memo_speedup"] < min_shared:
+        failures.append(
+            f"the shared-memo workers={measured['shared_memo_workers']}"
+            f" speculative wave is only {measured['shared_memo_speedup']:.2f}x"
+            f" faster than the private-memo wave (needs"
+            f" >= {min_shared:.1f}x: private"
+            f" {measured['shared_memo_private_wave_s']:.3f}s, shared"
+            f" {measured['shared_memo_shared_wave_s']:.3f}s)"
+        )
+    if not measured["shared_memo_plans_identical"]:
+        failures.append(
+            "the shared-memo wave's plans diverged from the private-memo"
+            " baseline — a shared entry leaked state between tenants"
+        )
+    if measured["shared_memo_restored_entries"] < 1:
+        failures.append(
+            "the warm restart restored no entries from the persisted memo"
+            " file — persistence is silently broken"
+        )
+    min_reuse = float(baseline.get("min_warm_restart_reuse", 0.8))
+    if measured["warm_restart_reuse"] < min_reuse:
+        failures.append(
+            f"a controller restarted from the persisted memo file skipped"
+            f" only {measured['warm_restart_reuse']:.1%} of the cold solve's"
+            f" memo derivations (needs >= {min_reuse:.0%}:"
+            f" {measured['warm_restart_derivations']} vs"
+            f" {measured['warm_restart_cold_derivations']} derivations)"
         )
     return failures
 

@@ -23,6 +23,13 @@ stable content hashes:
   bound, mirroring ``DPPlacer.prune_memo`` on the placement memo.
 * ``codegen`` — generated backend source, keyed by (snippet fingerprint,
   device model).
+* ``memo`` — placement-memo entries written back by
+  :class:`~repro.placement.memo.SharedPlacementMemo`: device-feasibility
+  bits, interval gains and sub-tree DP tables, each stored as the triple
+  ``(memo key, value, consulted device names)`` under a content address of
+  the memo key.  Memo keys already embed per-device allocation
+  fingerprints, so superseded entries simply stop being addressable and
+  age out of the LRU — no eviction protocol is needed for correctness.
 
 Keys are namespaced SHA-256 digests of a canonical JSON rendering of the
 inputs, so any change to the inputs produces a different address.  The cache
@@ -149,6 +156,9 @@ class ArtifactCache:
         self._lock = threading.RLock()
         self._entries: "OrderedDict[str, object]" = OrderedDict()
         self._stats: Dict[str, CacheStats] = {}
+        #: live entry count per namespace, so emptiness checks (e.g. "can a
+        #: warm plan hit even exist?") cost O(1) instead of a full scan
+        self._ns_counts: Dict[str, int] = {}
 
     # ------------------------------------------------------------------ #
     @staticmethod
@@ -169,12 +179,25 @@ class ArtifactCache:
             stats.misses += 1
             return False, None
 
+    def _forget(self, key: str) -> None:
+        """Book-keeping for one removed entry (callers hold the lock)."""
+        namespace = self._namespace_of(key)
+        remaining = self._ns_counts.get(namespace, 0) - 1
+        if remaining > 0:
+            self._ns_counts[namespace] = remaining
+        else:
+            self._ns_counts.pop(namespace, None)
+
     def store(self, key: str, value: object) -> None:
         with self._lock:
+            if key not in self._entries:
+                namespace = self._namespace_of(key)
+                self._ns_counts[namespace] = self._ns_counts.get(namespace, 0) + 1
             self._entries[key] = value
             self._entries.move_to_end(key)
             while len(self._entries) > self.max_entries:
-                self._entries.popitem(last=False)
+                evicted, _ = self._entries.popitem(last=False)
+                self._forget(evicted)
 
     def invalidate(self, namespace: Optional[str] = None) -> int:
         """Drop all entries (or only one namespace's); returns count dropped."""
@@ -182,6 +205,7 @@ class ArtifactCache:
             if namespace is None:
                 dropped = len(self._entries)
                 self._entries.clear()
+                self._ns_counts.clear()
                 return dropped
             victims = [
                 key for key in self._entries
@@ -189,6 +213,7 @@ class ArtifactCache:
             ]
             for key in victims:
                 del self._entries[key]
+                self._forget(key)
             return len(victims)
 
     def invalidate_matching(self, namespace: str, predicate) -> int:
@@ -205,6 +230,7 @@ class ArtifactCache:
             ]
             for key in victims:
                 del self._entries[key]
+                self._forget(key)
             return len(victims)
 
     def prune_stale_plans(self, live_fingerprints: Dict[str, str],
@@ -242,6 +268,29 @@ class ArtifactCache:
             )
 
         return self.invalidate_matching("plan", stale)
+
+    def namespace_len(self, namespace: str) -> int:
+        """Live entry count in one namespace, in O(1).
+
+        The hot use is the negative case: the parallel service's warm-path
+        lookup can skip computing a plan key — which fingerprints the whole
+        fabric — whenever no plan has ever been written back.
+        """
+        with self._lock:
+            return self._ns_counts.get(namespace, 0)
+
+    def namespace_items(self, namespace: str) -> list:
+        """Snapshot of ``(key, value)`` pairs in one namespace.
+
+        Taken under the lock and returned as a list, so callers (e.g. the
+        shared memo's persistence path) can iterate without racing
+        concurrent stores.  Does not touch LRU positions or stats.
+        """
+        with self._lock:
+            return [
+                (key, value) for key, value in self._entries.items()
+                if self._namespace_of(key) == namespace
+            ]
 
     # ------------------------------------------------------------------ #
     def __len__(self) -> int:

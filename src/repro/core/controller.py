@@ -46,6 +46,7 @@ from repro.frontend.compiler import FrontendCompiler
 from repro.ir.program import IRProgram
 from repro.lang.profile import Profile
 from repro.placement.dp import DPPlacer
+from repro.placement.memo import PlacementMemo, SharedPlacementMemo
 from repro.synthesis.incremental import IncrementalSynthesizer, SynthesisDelta
 from repro.topology.network import NetworkTopology
 
@@ -57,10 +58,26 @@ class ClickINC:
 
     def __init__(self, topology: NetworkTopology, incremental: bool = True,
                  adaptive_weights: bool = True, generate_code: bool = True,
-                 cache: Optional[ArtifactCache] = None) -> None:
+                 cache: Optional[ArtifactCache] = None,
+                 memo: Optional[PlacementMemo] = None,
+                 memo_path: Optional[str] = None) -> None:
         self.topology = topology
         self.compiler = FrontendCompiler()
-        self.placer = DPPlacer(topology)
+        # The placement memo defaults to the shared flavour so worker pools
+        # receive/ship memo deltas out of the box; pass ``memo=`` to share
+        # one store between controllers (the ShardCoordinator does), and
+        # ``memo_path=`` to persist it across restarts — an existing file
+        # is restored here (with fingerprint validation; a stale or corrupt
+        # file cold-solves) and ``close()`` writes the store back.
+        owns_memo = memo is None
+        self.memo = memo if memo is not None else SharedPlacementMemo()
+        self.memo_path = memo_path
+        if owns_memo and memo_path is not None:
+            import os
+
+            if os.path.exists(memo_path) and hasattr(self.memo, "restore"):
+                self.memo.restore(memo_path, topology)
+        self.placer = DPPlacer(topology, memo=self.memo)
         self.synthesizer = IncrementalSynthesizer(topology, incremental=incremental)
         self.emulator = NetworkEmulator(topology)
         self.adaptive_weights = adaptive_weights
@@ -239,9 +256,16 @@ class ClickINC:
         Safe to call multiple times; afterwards the controller remains
         usable (a later ``deploy_many(workers=N)`` simply starts a fresh
         pool).  Without an explicit close the pool would only be reaped at
-        garbage collection / interpreter exit.
+        garbage collection / interpreter exit.  With ``memo_path`` set the
+        placement memo is persisted here (best-effort — a failed write
+        never blocks shutdown; the next start simply cold-solves).
         """
         self.pipeline.close()
+        if self.memo_path is not None and hasattr(self.memo, "save"):
+            try:
+                self.memo.save(self.memo_path, self.topology)
+            except Exception:
+                pass
 
     def __enter__(self) -> "ClickINC":
         return self

@@ -22,6 +22,18 @@ state with every batch; a worker applies the delta once per epoch
 epoch, which lets the parent's commit phase validate an untouched world with
 a single integer comparison.
 
+When the pipeline's placer holds a
+:class:`~repro.placement.memo.SharedPlacementMemo`, the same sync channel
+also carries **memo deltas**: workers fork with a snapshot of the parent's
+warm memo (device-feasibility bits, interval gains, sub-tree DP tables),
+ship the entries they derive back on every
+:class:`SpeculativeResult`, and receive other workers' entries — relayed
+through the parent's memo log — batched alongside the fingerprint deltas.
+Each sub-solution is thus derived once per *fabric* rather than once per
+worker.  The memo channel is lossy-safe by design: keys are
+content-addressed, so a worker that misses a delta (idle during a batch,
+trimmed log) merely re-derives; it can never place from a stale entry.
+
 The service degrades gracefully: with ``workers <= 1``, when the pool cannot
 be created, or for request payloads that cannot be pickled, it falls back to
 the in-process compile path.  A worker-process crash (``BrokenProcessPool``,
@@ -63,9 +75,12 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
 __all__ = ["ParallelCompileService", "SpeculativeResult"]
 
 #: A batch's snapshot re-sync payload: the parent topology's allocation
-#: epoch plus the absolute allocation state of every device that drifted
-#: from the pool's fork-time baseline.
-SyncPayload = Tuple[int, Dict[str, Dict[str, object]]]
+#: epoch, the absolute allocation state of every device that drifted from
+#: the pool's fork-time baseline, and an optional shared-memo delta —
+#: ``(log sequence, pickled entries)`` in the parent memo's sequence space.
+SyncPayload = Tuple[
+    int, Dict[str, Dict[str, object]], Optional[Tuple[int, bytes]]
+]
 
 
 @dataclass
@@ -89,6 +104,11 @@ class SpeculativeResult:
     #: committed speculative plan written back); the commit phase records it
     #: as a placement cache hit and skips the redundant write-back.
     plan_from_cache: bool = False
+    #: pickled memo entries the worker derived for this task (the blob of
+    #: ``SharedPlacementMemo.export_delta``); the parent merges them into
+    #: its shared memo and relays them to the other workers, then clears
+    #: the field before the result reaches the commit phase.
+    memo_delta: Optional[bytes] = None
 
 
 #: Per-worker state built once by the pool initializer (each worker process
@@ -96,14 +116,37 @@ class SpeculativeResult:
 _WORKER_CONTEXT: Dict[str, object] = {}
 
 
-def _worker_init(topology, adaptive_weights: bool) -> None:
-    """Initialise one worker process with a snapshot of the topology."""
+def _worker_init(topology, adaptive_weights: bool,
+                 memo_init: Optional[Tuple[int, bytes]] = None) -> None:
+    """Initialise one worker process with a snapshot of the topology.
+
+    ``memo_init`` is the parent shared memo's ``export_snapshot()`` at pool
+    creation: the worker starts with every sub-solution the parent already
+    holds instead of a cold memo, and remembers the snapshot's sequence
+    number so batched memo deltas are applied exactly once.  With
+    ``memo_init=None`` the parent placer runs a private memo, so the worker
+    gets a plain private memo too — no delta log, no export cost.
+    """
+    from repro.placement.memo import PlacementMemo, SharedPlacementMemo
+
+    synced_seq = 0
+    if memo_init is not None:
+        memo = SharedPlacementMemo()
+        synced_seq, blob = memo_init
+        memo.apply_delta(blob)
+    else:
+        memo = PlacementMemo()
     _WORKER_CONTEXT["topology"] = topology
     _WORKER_CONTEXT["compiler"] = FrontendCompiler()
-    _WORKER_CONTEXT["placer"] = DPPlacer(topology)
+    _WORKER_CONTEXT["memo"] = memo
+    _WORKER_CONTEXT["placer"] = DPPlacer(topology, memo=memo)
     _WORKER_CONTEXT["cache"] = ArtifactCache()
     _WORKER_CONTEXT["adaptive_weights"] = bool(adaptive_weights)
     _WORKER_CONTEXT["epoch"] = -1
+    #: high-water mark of parent memo-log entries already applied
+    _WORKER_CONTEXT["memo_synced_seq"] = synced_seq
+    #: high-water mark of own memo-log entries already shipped back
+    _WORKER_CONTEXT["memo_exported_seq"] = 0
 
 
 def _worker_apply_sync(sync: Optional[SyncPayload]) -> None:
@@ -111,19 +154,50 @@ def _worker_apply_sync(sync: Optional[SyncPayload]) -> None:
 
     The payload carries *absolute* device allocation states, so applying it
     is idempotent; the epoch guard merely avoids re-applying the same delta
-    for every request of a wave.
+    for every request of a wave.  The memo delta is applied *after* the
+    state sync (and outside the epoch guard — the memo can grow without any
+    allocation changing): the prune that follows a state sync drops entries
+    keyed on superseded fingerprints, and the delta's entries were derived
+    against the new states, so this order keeps them.
     """
     if sync is None:
         return
-    epoch, states = sync
-    if epoch <= _WORKER_CONTEXT["epoch"]:
-        return
-    topology = _WORKER_CONTEXT["topology"]
-    topology.apply_allocation_states(states)
-    # the synced devices' fingerprints changed, so the worker placer's memo
-    # entries that consulted them can never hit again — drop them
-    _WORKER_CONTEXT["placer"].prune_memo(list(states))
-    _WORKER_CONTEXT["epoch"] = epoch
+    if len(sync) == 2:  # legacy 2-tuple (hand-built in older tests)
+        epoch, states = sync
+        memo_sync = None
+    else:
+        epoch, states, memo_sync = sync
+    if epoch > _WORKER_CONTEXT["epoch"]:
+        topology = _WORKER_CONTEXT["topology"]
+        topology.apply_allocation_states(states)
+        # the synced devices' fingerprints changed, so the worker placer's
+        # memo entries that consulted them can never hit again — drop them
+        _WORKER_CONTEXT["placer"].prune_memo(list(states))
+        _WORKER_CONTEXT["epoch"] = epoch
+    if memo_sync is not None:
+        to_seq, blob = memo_sync
+        if to_seq > _WORKER_CONTEXT.get("memo_synced_seq", 0):
+            memo = _WORKER_CONTEXT.get("memo")
+            if memo is not None:
+                memo.apply_delta(blob)
+            _WORKER_CONTEXT["memo_synced_seq"] = to_seq
+
+
+def _worker_export_memo_delta() -> Optional[bytes]:
+    """Package memo entries this worker derived since its last export.
+
+    Parent-shipped entries never appear here: they are applied without
+    being re-logged, so the worker's log holds only its own derivations.
+    """
+    memo = _WORKER_CONTEXT.get("memo")
+    if memo is None or not hasattr(memo, "export_delta"):
+        return None
+    delta = memo.export_delta(_WORKER_CONTEXT.get("memo_exported_seq", 0))
+    if delta is None:
+        return None
+    to_seq, blob = delta
+    _WORKER_CONTEXT["memo_exported_seq"] = to_seq
+    return blob
 
 
 def _worker_compile_and_place(
@@ -187,15 +261,23 @@ def _worker_compile_and_place(
         plan.epoch = _WORKER_CONTEXT["epoch"] if sync is not None else None
     except Exception as exc:
         # the commit phase retries placement against the live topology, so a
-        # snapshot-time failure is advisory rather than final
+        # snapshot-time failure is advisory rather than final; even a failed
+        # search derives reusable sub-solutions, so ship them back too
         return SpeculativeResult(
             index=index,
             program=program,
             records=records,
             error=str(exc),
             failed_stage="placement",
+            memo_delta=_worker_export_memo_delta(),
         )
-    return SpeculativeResult(index=index, program=program, records=records, plan=plan)
+    return SpeculativeResult(
+        index=index,
+        program=program,
+        records=records,
+        plan=plan,
+        memo_delta=_worker_export_memo_delta(),
+    )
 
 
 def _default_context():
@@ -253,6 +335,9 @@ class ParallelCompileService(CounterMixin):
         #: sync payload so a worker holding an intermediate state is always
         #: re-synced, even when the live state drifts *back* to baseline
         self._ever_dirty: Set[str] = set()
+        #: parent memo-log entries already exported to the workers (the
+        #: pool-init snapshot, then one batched delta per sync payload)
+        self._memo_synced_seq = 0
         #: observability: batches served, pools created, and requests that
         #: fell back to the in-process compile path over the lifetime
         self.batches_served = 0
@@ -260,6 +345,57 @@ class ParallelCompileService(CounterMixin):
         self.inline_fallbacks = 0
         if self.workers > 1:
             self._start_pool()
+
+    # ------------------------------------------------------------------ #
+    # shared-memo plumbing
+    # ------------------------------------------------------------------ #
+    def _shared_memo(self):
+        """The pipeline placer's shared memo, or None for a private memo."""
+        memo = getattr(self.pipeline.placer, "memo", None)
+        if memo is not None and hasattr(memo, "export_delta"):
+            return memo
+        return None
+
+    def _memo_init_payload(self) -> Optional[Tuple[int, bytes]]:
+        """Snapshot handed to forked workers (None with a private memo)."""
+        memo = self._shared_memo()
+        if memo is None:
+            return None
+        snapshot = memo.export_snapshot()
+        self._memo_synced_seq = snapshot[0]
+        return snapshot
+
+    def _memo_sync(self) -> Optional[Tuple[int, bytes]]:
+        """Batched delta of memo entries the workers have not seen yet.
+
+        Advances the export watermark: a worker idle for this batch misses
+        these entries for good, which is safe (content-addressed keys, the
+        worker re-derives) and keeps the per-batch payload proportional to
+        *new* entries rather than the memo's lifetime.
+        """
+        memo = self._shared_memo()
+        if memo is None:
+            return None
+        delta = memo.export_delta(self._memo_synced_seq)
+        if delta is not None:
+            self._memo_synced_seq = delta[0]
+        return delta
+
+    def _absorb_memo_delta(self, result: SpeculativeResult) -> None:
+        """Merge one worker's shipped entries; relay them via the next sync.
+
+        ``record=True`` re-logs the merged entries in the parent's memo log,
+        which is exactly what routes worker A's derivations to worker B in
+        the next batched delta.  The blob is detached from the result so
+        downstream consumers (commit phase, reports) never see it.
+        """
+        blob = result.memo_delta
+        if blob is None:
+            return
+        result.memo_delta = None
+        memo = self._shared_memo()
+        if memo is not None:
+            memo.apply_delta(blob, record=True)
 
     # ------------------------------------------------------------------ #
     # pool lifecycle
@@ -270,7 +406,11 @@ class ParallelCompileService(CounterMixin):
                 max_workers=self.workers,
                 mp_context=self._mp_context or _default_context(),
                 initializer=_worker_init,
-                initargs=(self.pipeline.topology, self.pipeline.adaptive_weights),
+                initargs=(
+                    self.pipeline.topology,
+                    self.pipeline.adaptive_weights,
+                    self._memo_init_payload(),
+                ),
             )
         except (OSError, ValueError):  # no usable multiprocessing
             self._pool = None
@@ -352,6 +492,7 @@ class ParallelCompileService(CounterMixin):
         return (
             topology.allocation_epoch(),
             topology.allocation_states(sorted(self._ever_dirty)),
+            self._memo_sync(),
         )
 
     # ------------------------------------------------------------------ #
@@ -393,9 +534,30 @@ class ParallelCompileService(CounterMixin):
         for index in followers:
             hit, cached = cache.lookup(keys[index])
             precompiled[index] = cached if hit else None
-        self._run_wave(requests, followers, precompiled, results, sync)
+        # the leaders' memo deltas were merged as their futures resolved;
+        # refresh the sync payload's memo part so the follower wave starts
+        # from the leaders' sub-solutions (same program → same context
+        # digest, so the reuse is near-total) instead of re-deriving them
+        self._run_wave(requests, followers, precompiled, results,
+                       self._refresh_memo_sync(sync))
         self.increment("batches_served")
         return results
+
+    def _refresh_memo_sync(
+        self, sync: Optional[SyncPayload]
+    ) -> Optional[SyncPayload]:
+        """Re-export the memo part of a batch's sync payload mid-batch.
+
+        The epoch/state part is untouched — allocations do not move between
+        the speculative waves — and when nothing new was logged the previous
+        memo part is kept (workers that already applied it skip it by
+        watermark; an idle worker waking up late still gets it).
+        """
+        if sync is None:
+            return None
+        epoch, states, memo_sync = sync
+        fresh = self._memo_sync()
+        return (epoch, states, fresh if fresh is not None else memo_sync)
 
     # ------------------------------------------------------------------ #
     def _warm_lookup(
@@ -433,6 +595,11 @@ class ParallelCompileService(CounterMixin):
                 detail={"kind": "warm"},
             )
         else:
+            return None
+        if not cache.namespace_len("plan"):
+            # nothing was ever written back to the plan namespace, so a warm
+            # hit is impossible — skip the plan-key computation, which
+            # fingerprints every device of the fabric per request
             return None
         plan_key = pipeline.plan_cache_key(
             pipeline.placement_request(program, request)
@@ -493,7 +660,7 @@ class ParallelCompileService(CounterMixin):
                 results[index] = self._compile_inline(index, requests[index])
         for index, future in futures.items():
             try:
-                results[index] = future.result()
+                result = future.result()
             except Exception as exc:
                 # a worker crash (BrokenProcessPool) fails every in-flight
                 # future of the wave, not just the culprit; the compile
@@ -508,6 +675,9 @@ class ParallelCompileService(CounterMixin):
                         f" process crash: {exc!r})"
                     )
                 results[index] = retried
+            else:
+                self._absorb_memo_delta(result)
+                results[index] = result
 
     def _compile_inline(self, index: int, request: DeployRequest) -> SpeculativeResult:
         """In-process fallback: pure compile only, placement at commit time."""

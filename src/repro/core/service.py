@@ -621,6 +621,14 @@ class INCService:
             summary["pool_generation"] = service.pool_generation
             summary["batches_served"] = service.batches_served
             summary["inline_fallbacks"] = service.inline_fallbacks
+        memo = getattr(self.controller.placer, "memo", None)
+        if memo is not None and hasattr(memo, "counters"):
+            # the shared placement memo's hit/miss/delta-bytes counters; in
+            # sharded mode ``self.controller`` is the coordinator's
+            # full-fabric controller, whose memo is the one shared with
+            # every shard, so this covers both deployments.  Flows into the
+            # gateway's /v1/status via gateway_summary().
+            summary["memo"] = memo.summary()
         runtime = getattr(self.controller, "_runtime", None)
         if runtime is not None:
             summary["runtime"] = runtime.runtime_summary()

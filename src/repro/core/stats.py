@@ -15,7 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict
 
-__all__ = ["CounterMixin", "ShardCounters", "TenantCounters"]
+__all__ = ["CounterMixin", "MemoCounters", "ShardCounters", "TenantCounters"]
 
 
 class CounterMixin:
@@ -66,6 +66,63 @@ class ShardCounters(CounterMixin):
             "cross_shard_commits": self.cross_shard_commits,
             "aborted_prepares": self.aborted_prepares,
             "migrations": self.migrations,
+        }
+
+
+@dataclass
+class MemoCounters(CounterMixin):
+    """Activity of one :class:`~repro.placement.memo.SharedPlacementMemo`.
+
+    Tracks where lookups were served from (in-process front, shared backing
+    store, or nowhere), the delta-sync traffic exchanged with pool workers,
+    and the persistence life-cycle.  Surfaced through
+    ``SharedPlacementMemo.summary()`` into the service/gateway status
+    responses.
+    """
+
+    #: lookups served by the in-process LRU front
+    hits: int = 0
+    #: front misses served by the shared backing store (read-through)
+    shared_hits: int = 0
+    #: lookups that missed everywhere (the caller derives and stores)
+    misses: int = 0
+    #: entries merged in from delta/snapshot blobs
+    delta_entries_in: int = 0
+    #: bytes of delta/snapshot blobs merged in
+    delta_bytes_in: int = 0
+    #: entries exported into delta/snapshot blobs
+    delta_entries_out: int = 0
+    #: bytes of delta/snapshot blobs exported
+    delta_bytes_out: int = 0
+    #: delta entries skipped because the key was already present — with a
+    #: worker pool, exactly the duplicated work that cross-process
+    #: single-flight cannot prevent
+    duplicate_entries: int = 0
+    #: entries admitted from a persisted file on restore
+    restored_entries: int = 0
+    #: entries written out by save()
+    persisted_entries: int = 0
+    #: restore attempts rejected wholesale (unreadable/corrupt file, format
+    #: or topology-signature mismatch) — each one is a cold-solve fallback
+    restore_rejected: int = 0
+    #: memo-served sub-tree tables rejected by the DPPlacer's live
+    #: allocation-state guard (should stay 0; see StaleMemoError)
+    stale_rejections: int = 0
+
+    def summary(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "shared_hits": self.shared_hits,
+            "misses": self.misses,
+            "delta_entries_in": self.delta_entries_in,
+            "delta_bytes_in": self.delta_bytes_in,
+            "delta_entries_out": self.delta_entries_out,
+            "delta_bytes_out": self.delta_bytes_out,
+            "duplicate_entries": self.duplicate_entries,
+            "restored_entries": self.restored_entries,
+            "persisted_entries": self.persisted_entries,
+            "restore_rejected": self.restore_rejected,
+            "stale_rejections": self.stale_rejections,
         }
 
 

@@ -57,6 +57,20 @@ class PlacementConflictError(PlacementError):
         self.conflicts = list(conflicts or [])
 
 
+class StaleMemoError(PlacementError):
+    """A memo-served DP sub-tree table failed its allocation-state guard.
+
+    Sub-tree tables carry the allocation fingerprint of every device they
+    consulted when derived.  Before trusting a memo hit, ``DPPlacer``
+    re-checks those stamps against the live devices; a mismatch means the
+    memo's content addressing was violated (a device mutated without its
+    fingerprint advancing, or an entry was injected under a wrong key) and
+    silently placing from the table could double-book resources.  This is
+    an internal-invariant failure, not a capacity condition — it should
+    never fire in a healthy deployment.
+    """
+
+
 class TopologyError(ClickINCError):
     """The network topology is unsupported or inconsistent."""
 

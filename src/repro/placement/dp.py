@@ -48,7 +48,11 @@ import time
 from dataclasses import dataclass, field
 from typing import Collection, Dict, List, Optional, Sequence, Tuple
 
-from repro.exceptions import PlacementConflictError, PlacementError
+from repro.exceptions import (
+    PlacementConflictError,
+    PlacementError,
+    StaleMemoError,
+)
 from repro.ir.program import IRProgram
 from repro.placement.blocks import Block, BlockDAG, build_block_dag
 from repro.placement.intra import IntraDeviceAllocator, StageAssignment
@@ -211,6 +215,57 @@ class _SearchContext:
                     seen.add(name)
                     names.append(name)
         return names
+
+    def table_stamps(self, node: ReducedNode) -> Tuple[Tuple[str, str], ...]:
+        """Allocation fingerprints of every device a sub-tree table consults.
+
+        Stored alongside the table and re-checked by
+        :meth:`verify_table_stamps` before a memo hit is trusted — the
+        runtime guard behind the memo's content-addressing invariant.
+        """
+        return tuple(
+            (name, self.topology.device(name).allocation_fingerprint())
+            for name in self.subtree_device_names(node)
+        )
+
+    def verify_table_stamps(self, stamps: Sequence[Tuple[str, str]],
+                            node: ReducedNode) -> None:
+        """Raise :class:`StaleMemoError` if a stamped device drifted.
+
+        The memo's table keys embed every consulted device's allocation
+        fingerprint (via the recursive sub-tree signature), so for a hit on
+        *node*'s own devices signature equality implies fingerprint
+        equality — a stamp that disagrees with the live device means that
+        invariant was violated somewhere (a mutation that bypassed the
+        ``alloc_version`` bump, an entry injected under a wrong key) and
+        placing from the table could double-book resources, so the placer
+        refuses instead of silently continuing.  Stamps naming devices
+        *outside* the node's sub-tree are skipped: symmetric reuse
+        legitimately serves pod B a table derived on the isomorphic pod A
+        (possibly in another shard's view) whose namesake devices have
+        since drifted — the signature match already proves the content of
+        *this* node's devices equals what the table was derived against.
+        """
+        local = set(self.subtree_device_names(node))
+        stale = []
+        known = self.topology.devices
+        for name, fingerprint in stamps:
+            if name not in local:
+                continue
+            device = known.get(name)
+            if device is None:
+                continue
+            if device.allocation_fingerprint() != fingerprint:
+                stale.append(name)
+        if stale:
+            counters = getattr(self.memo, "counters", None)
+            if counters is not None:
+                counters.increment("stale_rejections", by=len(stale))
+            raise StaleMemoError(
+                f"memo-served sub-tree table was derived against superseded "
+                f"allocation states on devices {sorted(stale)}; the memo's "
+                f"content-addressing invariant was violated"
+            )
 
     # -- interval machinery ------------------------------------------------
     def instructions(self, start: int, end: int) -> list:
@@ -696,24 +751,68 @@ class DPPlacer:
         node" to the best partial candidate.  Traffic flows leaf → root, so a
         node's own interval sits *after* its children's intervals.
         """
-        if ctx is not None:
-            table_key = ctx.table_key("client", node)
-            stored = ctx.memo.lookup_table(table_key)
-            if stored is not MISS:
-                remapped = ctx.remap_table(stored[0], stored[1], node)
-                if remapped is not None:
-                    ctx.counters.increment("subtree_memo_hits")
-                    return remapped
-            ctx.counters.increment("subtree_solves")
-        table = self._client_dp_table(
-            node, block_dag, ordered_blocks, objective, request, ctx
+        return self._memoised_table(
+            "client", node, ctx,
+            lambda: self._client_dp_table(
+                node, block_dag, ordered_blocks, objective, request, ctx
+            ),
         )
-        if ctx is not None:
-            ctx.memo.store_table(
-                table_key,
-                (subtree_class_ids(node), table),
-                ctx.subtree_device_names(node),
-            )
+
+    def _memoised_table(self, side: str, node: ReducedNode,
+                        ctx: Optional[_SearchContext],
+                        solve) -> Dict[int, _Candidate]:
+        """Serve a sub-tree DP table from the memo, or derive and store it.
+
+        A hit is trusted only after :meth:`_SearchContext.verify_table_stamps`
+        confirms the stored table's consulted devices still carry the
+        allocation fingerprints recorded at derivation time.  On a miss
+        against a :class:`~repro.placement.memo.SharedPlacementMemo`, the
+        derive runs under the memo's per-key single-flight guard, so
+        concurrent in-process users (controller shards on symmetric pods)
+        solve each distinct sub-tree once: the second thread blocks, then
+        hits on its re-check.
+        """
+        if ctx is None:
+            return solve()
+        table_key = ctx.table_key(side, node)
+        table = self._memo_table_hit(ctx, table_key, node)
+        if table is not None:
+            return table
+        guard = getattr(ctx.memo, "table_guard", None)
+        if guard is not None:
+            with guard(table_key):
+                table = self._memo_table_hit(ctx, table_key, node)
+                if table is not None:
+                    return table
+                return self._solve_and_store(ctx, table_key, node, solve)
+        return self._solve_and_store(ctx, table_key, node, solve)
+
+    def _memo_table_hit(self, ctx: _SearchContext, table_key: Tuple,
+                        node: ReducedNode) -> Optional[Dict[int, _Candidate]]:
+        stored = ctx.memo.lookup_table(table_key)
+        if stored is MISS:
+            return None
+        if len(stored) == 3:
+            stored_ids, stored_table, stamps = stored
+        else:  # pre-stamp entry (e.g. a hand-built PlacementMemo in tests)
+            stored_ids, stored_table = stored
+            stamps = ()
+        ctx.verify_table_stamps(stamps, node)
+        remapped = ctx.remap_table(stored_ids, stored_table, node)
+        if remapped is None:
+            return None
+        ctx.counters.increment("subtree_memo_hits")
+        return remapped
+
+    def _solve_and_store(self, ctx: _SearchContext, table_key: Tuple,
+                         node: ReducedNode, solve) -> Dict[int, _Candidate]:
+        ctx.counters.increment("subtree_solves")
+        table = solve()
+        ctx.memo.store_table(
+            table_key,
+            (subtree_class_ids(node), table, ctx.table_stamps(node)),
+            ctx.subtree_device_names(node),
+        )
         return table
 
     def _client_dp_table(self, node: ReducedNode, block_dag: BlockDAG,
@@ -783,25 +882,12 @@ class DPPlacer:
         [0, j) already executed" to the best candidate that finishes the
         program at or below the node.
         """
-        if ctx is not None:
-            table_key = ctx.table_key("server", node)
-            stored = ctx.memo.lookup_table(table_key)
-            if stored is not MISS:
-                remapped = ctx.remap_table(stored[0], stored[1], node)
-                if remapped is not None:
-                    ctx.counters.increment("subtree_memo_hits")
-                    return remapped
-            ctx.counters.increment("subtree_solves")
-        table = self._server_dp_table(
-            node, block_dag, ordered_blocks, objective, request, ctx
+        return self._memoised_table(
+            "server", node, ctx,
+            lambda: self._server_dp_table(
+                node, block_dag, ordered_blocks, objective, request, ctx
+            ),
         )
-        if ctx is not None:
-            ctx.memo.store_table(
-                table_key,
-                (subtree_class_ids(node), table),
-                ctx.subtree_device_names(node),
-            )
-        return table
 
     def _server_dp_table(self, node: ReducedNode, block_dag: BlockDAG,
                          ordered_blocks: List[Block],

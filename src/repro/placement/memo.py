@@ -24,23 +24,100 @@ entries can never be returned.  Pruning — driven by
 <repro.topology.network.NetworkTopology.fingerprint_delta>` deltas and by
 commit/release/remove events — exists to bound memory and drop entries that
 can never hit again, not for correctness.
+
+:class:`SharedPlacementMemo` extends the private memo into a *fabric-wide*
+store: a thread-safe LRU front backed by the ``memo`` namespace of an
+:class:`~repro.core.cache.ArtifactCache` (read-through on miss, write-back
+on store), a sequence-numbered delta log so process-pool workers can ship
+newly derived entries back to the parent and receive batched delta sync,
+per-key single-flight guards so concurrent in-process users (controller
+shards) never derive the same sub-tree table twice, and on-disk
+persistence with fingerprint validation for warm restarts.  Because every
+key is content-addressed, sharing needs no coherence protocol: a missed or
+dropped delta costs a re-derivation, never a wrong answer.
 """
 
 from __future__ import annotations
 
+import hashlib
+import pickle
+import threading
 from collections import OrderedDict
-from typing import Dict, Hashable, Iterable, List, Set, Tuple
+from contextlib import contextmanager
+from typing import Dict, Hashable, Iterable, List, Optional, Set, Tuple
 
-__all__ = ["PlacementMemo", "MISS", "INFEASIBLE"]
+__all__ = [
+    "PlacementMemo",
+    "SharedPlacementMemo",
+    "MISS",
+    "INFEASIBLE",
+    "MEMO_NAMESPACE",
+    "MEMO_FILE_FORMAT",
+    "topology_structure_signature",
+]
+
+#: :class:`ArtifactCache` namespace holding the shared memo's backing store.
+MEMO_NAMESPACE = "memo"
+
+#: On-disk format version of :meth:`SharedPlacementMemo.save` files; bumped
+#: whenever the entry layout changes so a restart never misreads old files.
+MEMO_FILE_FORMAT = 1
+
+
+class _Sentinel:
+    """A pickle-stable singleton marker.
+
+    The memo's sentinels are compared by identity (``is MISS``), which bare
+    ``object()`` instances do not survive: unpickling creates a *new*
+    object, so a sentinel that crossed a process boundary (worker delta
+    blobs) or a restart (persisted memo files) would stop comparing equal.
+    ``__reduce__`` routes unpickling back through the per-tag registry, so
+    identity is preserved across pickling, forks and restarts.
+    """
+
+    _registry: Dict[str, "_Sentinel"] = {}
+
+    __slots__ = ("_tag",)
+
+    def __new__(cls, tag: str) -> "_Sentinel":
+        existing = cls._registry.get(tag)
+        if existing is not None:
+            return existing
+        instance = super().__new__(cls)
+        instance._tag = tag
+        cls._registry[tag] = instance
+        return instance
+
+    def __reduce__(self):
+        return (_Sentinel, (self._tag,))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<memo.{self._tag}>"
+
 
 #: sentinel returned by lookups when the key is absent (``None`` and floats
 #: are valid cached values, so absence needs its own object)
-MISS = object()
+MISS = _Sentinel("MISS")
 
 #: sentinel cached for intervals/devices proven infeasible
-INFEASIBLE = object()
+INFEASIBLE = _Sentinel("INFEASIBLE")
 
 _Key = Tuple[Hashable, ...]
+
+
+def topology_structure_signature(topology) -> str:
+    """Hash of a topology's *static* shape (names, types, stage counts).
+
+    A persisted memo file is only meaningful against the fabric it was
+    derived on; this signature pins that association without freezing the
+    *mutable* allocation state (which the per-device fingerprints in the
+    file header validate separately).
+    """
+    payload = sorted(
+        (device.name, device.dev_type, device.num_stages)
+        for device in topology.devices.values()
+    )
+    return hashlib.sha256(repr(payload).encode("utf-8")).hexdigest()
 
 
 class PlacementMemo:
@@ -105,7 +182,7 @@ class PlacementMemo:
         self._store("interval", key, value, devices)
 
     def lookup_table(self, key: _Key) -> object:
-        """A stored ``(dfs_ec_ids, dp_table)`` pair for a sub-tree signature."""
+        """A stored ``(dfs_ec_ids, dp_table, stamps)`` for a sub-tree signature."""
         return self._lookup("table", key)
 
     def store_table(self, key: _Key, value: object,
@@ -159,3 +236,369 @@ class PlacementMemo:
 
     def devices_indexed(self) -> List[str]:
         return sorted(self._by_device)
+
+    def summary(self) -> Dict[str, object]:
+        return {"entries": len(self), "sizes": self.sizes()}
+
+
+class SharedPlacementMemo(PlacementMemo):
+    """A process-shared, persistable placement memo.
+
+    Layered over the private :class:`PlacementMemo`:
+
+    * the inherited LRU stores act as the **in-process front** — hot
+      lookups never touch the backing store;
+    * a **backing** :class:`~repro.core.cache.ArtifactCache` holds every
+      written entry under a content address in the :data:`MEMO_NAMESPACE`
+      namespace.  Stores write back, front misses read through, and a
+      backing cache *shared between several fronts* (one per controller
+      shard) is what lets shard A's pod sub-tree table warm shard B —
+      all keys are name-blind and fingerprint-addressed, so reuse across
+      shard views is sound by construction;
+    * a sequence-numbered **delta log** feeds the worker-pool sync
+      protocol: :meth:`export_delta` packages entries derived since a
+      watermark into one pickled blob, :meth:`apply_delta` merges a blob
+      from another process.  Sync is *lossy-safe* — a dropped blob (idle
+      worker, trimmed log) costs a re-derivation, never a wrong answer —
+      so the log is bounded rather than durable;
+    * :meth:`table_guard` provides per-key **single-flight** for
+      concurrent in-process users: the second thread asking for an
+      uncached sub-tree table blocks until the first finishes deriving
+      it, then hits.  (Process-pool workers have no shared locks; their
+      duplicate derivations are collapsed at delta-merge time and show up
+      in ``counters.duplicate_entries``.)
+    * :meth:`save` / :meth:`restore` persist the store next to the
+      artifact cache and bring it back after a controller/service
+      restart, validating the file's topology signature and per-device
+      allocation fingerprints so only still-live sub-solutions return.
+
+    All public operations are thread-safe (controller shards run in
+    threads and share one ``Device`` world, hence potentially one memo).
+    """
+
+    def __init__(self, max_entries: int = 100000,
+                 backing: Optional[object] = None,
+                 max_log_entries: int = 50000) -> None:
+        super().__init__(max_entries)
+        from repro.core.cache import ArtifactCache  # local: avoids an
+        # import cycle (repro.core.__init__ imports the controller, which
+        # imports the placer, which imports this module)
+
+        self._lock = threading.RLock()
+        self._backing = (backing if backing is not None
+                         else ArtifactCache(max_entries=self.max_entries))
+        self.max_log_entries = max(16, int(max_log_entries))
+        #: delta log: (seq, store, key, value, names), oldest first
+        self._log: List[Tuple[int, str, _Key, object, Tuple[str, ...]]] = []
+        self._log_seq = 0
+        #: per-key single-flight guards: key -> [lock, waiter count]
+        self._guards: Dict[_Key, List[object]] = {}
+        self._guard_meta = threading.Lock()
+        from repro.core.stats import MemoCounters  # local: same cycle guard
+
+        self.counters = MemoCounters()
+
+    # ------------------------------------------------------------------ #
+    # backing-store plumbing
+    # ------------------------------------------------------------------ #
+    @property
+    def backing(self):
+        """The backing :class:`ArtifactCache` (shareable between fronts)."""
+        return self._backing
+
+    @staticmethod
+    def _backing_key(store: str, key: _Key) -> str:
+        from repro.core.cache import content_key
+
+        return content_key(MEMO_NAMESPACE, store, repr(key))
+
+    def _lookup(self, store: str, key: _Key) -> object:
+        with self._lock:
+            value = super()._lookup(store, key)
+            if value is not MISS:
+                self.counters.increment("hits")
+                return value
+            hit, entry = self._backing.lookup(self._backing_key(store, key))
+            if hit:
+                # read-through: install into the front without re-logging
+                # (the entry already travelled through someone's log)
+                _, value, names = entry
+                super()._store(store, key, value, names)
+                self.counters.increment("shared_hits")
+                return value
+            self.counters.increment("misses")
+            return MISS
+
+    def _store(self, store: str, key: _Key, value: object,
+               devices: Iterable[str]) -> None:
+        names = tuple(devices)
+        with self._lock:
+            super()._store(store, key, value, names)
+            self._backing.store(self._backing_key(store, key),
+                                (key, value, names))
+            self._append_log(store, key, value, names)
+
+    def _append_log(self, store: str, key: _Key, value: object,
+                    names: Tuple[str, ...]) -> None:
+        self._log_seq += 1
+        self._log.append((self._log_seq, store, key, value, names))
+        # bound the log: entries beyond the cap fall off the front.  A
+        # consumer whose watermark predates the trim simply misses them —
+        # it re-derives on demand, which content-addressing makes safe.
+        if len(self._log) > self.max_log_entries:
+            del self._log[: len(self._log) - self.max_log_entries]
+
+    def prune_devices(self, device_names: Iterable[str]) -> int:
+        """Drop front entries that consulted any of *device_names*.
+
+        Only the front is pruned eagerly (it has the device index).  The
+        backing store keeps superseded entries until its LRU evicts them:
+        they are keyed on the old fingerprints, so no lookup can ever hit
+        them again — retaining them briefly is a memory trade, not a
+        staleness risk.
+        """
+        with self._lock:
+            return super().prune_devices(device_names)
+
+    def clear(self) -> int:
+        with self._lock:
+            removed = super().clear()
+            self._backing.invalidate(MEMO_NAMESPACE)
+            self._log.clear()
+            return removed
+
+    def __len__(self) -> int:
+        with self._lock:
+            return super().__len__()
+
+    def sizes(self) -> Dict[str, int]:
+        with self._lock:
+            return super().sizes()
+
+    def devices_indexed(self) -> List[str]:
+        with self._lock:
+            return super().devices_indexed()
+
+    # ------------------------------------------------------------------ #
+    # single-flight
+    # ------------------------------------------------------------------ #
+    @contextmanager
+    def table_guard(self, key: _Key):
+        """Serialise concurrent derivations of one uncached key.
+
+        The caller re-checks the memo under the guard: the second thread
+        through blocks while the first derives and stores, then hits on
+        the re-check instead of re-deriving.  Per-key locks cannot
+        deadlock across keys: a thread only ever waits on a *descendant*
+        sub-tree's key while holding an ancestor's, and signature
+        containment is a strict partial order (a sub-tree signature
+        embeds its descendants' content, so no cycle of containment can
+        exist).  Guards are dropped as soon as nobody holds or awaits
+        them, so the dict stays bounded by live concurrency.
+        """
+        with self._guard_meta:
+            entry = self._guards.get(key)
+            if entry is None:
+                entry = [threading.RLock(), 0]
+                self._guards[key] = entry
+            entry[1] += 1
+        entry[0].acquire()
+        try:
+            yield
+        finally:
+            entry[0].release()
+            with self._guard_meta:
+                entry[1] -= 1
+                if entry[1] <= 0:
+                    self._guards.pop(key, None)
+
+    # ------------------------------------------------------------------ #
+    # delta sync (worker pools)
+    # ------------------------------------------------------------------ #
+    @property
+    def delta_seq(self) -> int:
+        """Sequence number of the newest logged entry (0 when empty)."""
+        with self._lock:
+            return self._log_seq
+
+    def export_delta(self, since_seq: int) -> Optional[Tuple[int, bytes]]:
+        """``(to_seq, blob)`` of entries logged after *since_seq*, or None.
+
+        The blob is a pickle of ``[(store, key, value, names), ...]``;
+        consumers apply it with :meth:`apply_delta` and advance their
+        watermark to ``to_seq``.  Entries trimmed from the bounded log are
+        silently absent — acceptable because sync is performance-only.
+        """
+        with self._lock:
+            if self._log_seq <= since_seq:
+                return None
+            entries = [
+                (store, key, value, names)
+                for seq, store, key, value, names in self._log
+                if seq > since_seq
+            ]
+            blob = pickle.dumps(entries, protocol=pickle.HIGHEST_PROTOCOL)
+            self.counters.increment("delta_entries_out", by=len(entries))
+            self.counters.increment("delta_bytes_out", by=len(blob))
+            return self._log_seq, blob
+
+    def export_snapshot(self) -> Tuple[int, bytes]:
+        """``(seq, blob)`` covering every entry currently in the front.
+
+        Used to warm a brand-new consumer (pool-fork initialisation),
+        where the bounded delta log may no longer reach back far enough.
+        """
+        with self._lock:
+            entries = [
+                (store, key, value, names)
+                for store, store_entries in self._stores.items()
+                for key, (value, names) in store_entries.items()
+            ]
+            blob = pickle.dumps(entries, protocol=pickle.HIGHEST_PROTOCOL)
+            self.counters.increment("delta_entries_out", by=len(entries))
+            self.counters.increment("delta_bytes_out", by=len(blob))
+            return self._log_seq, blob
+
+    def apply_delta(self, blob: bytes, record: bool = False
+                    ) -> Tuple[int, int]:
+        """Merge a delta blob; returns ``(applied, duplicates)``.
+
+        Entries whose key is already present (front or backing) are
+        counted as duplicates and skipped — with process-pool workers
+        racing on the same cold fabric, duplicates measure exactly the
+        work single-flight could not prevent across processes.  With
+        ``record=True`` the applied entries are re-logged, so a parent
+        merging one worker's delta relays it to the *other* workers
+        through the next batched sync.
+        """
+        entries = pickle.loads(blob)
+        applied = duplicates = 0
+        with self._lock:
+            for store, key, value, names in entries:
+                store_entries = self._stores.get(store)
+                if store_entries is None:
+                    continue
+                if key in store_entries or (
+                        self._backing_key(store, key) in self._backing):
+                    duplicates += 1
+                    continue
+                PlacementMemo._store(self, store, key, value, names)
+                self._backing.store(self._backing_key(store, key),
+                                    (key, value, names))
+                if record:
+                    self._append_log(store, key, value, names)
+                applied += 1
+            self.counters.increment("delta_entries_in", by=applied)
+            self.counters.increment("delta_bytes_in", by=len(blob))
+            self.counters.increment("duplicate_entries", by=duplicates)
+        return applied, duplicates
+
+    # ------------------------------------------------------------------ #
+    # persistence (warm restarts)
+    # ------------------------------------------------------------------ #
+    def save(self, path: str, topology) -> int:
+        """Persist the memo to *path*; returns the number of entries written.
+
+        The file carries a header — format version, the topology's
+        structural signature, and the per-device allocation fingerprints
+        at save time — that :meth:`restore` validates before trusting any
+        entry.  Front and backing entries are merged (the backing may
+        hold sub-solutions other fronts derived), and the write is
+        atomic (temp file + rename), so a crash mid-save leaves the
+        previous file intact.
+        """
+        import os
+
+        with self._lock:
+            merged: Dict[str, Tuple[str, _Key, object, Tuple[str, ...]]] = {}
+            for bkey, entry in self._backing.namespace_items(MEMO_NAMESPACE):
+                key, value, names = entry
+                store = self._store_of_backing_key(bkey, key)
+                if store is not None:
+                    merged[bkey] = (store, key, value, names)
+            for store, store_entries in self._stores.items():
+                for key, (value, names) in store_entries.items():
+                    merged[self._backing_key(store, key)] = (
+                        store, key, value, names
+                    )
+            payload = {
+                "format": MEMO_FILE_FORMAT,
+                "topology": topology_structure_signature(topology),
+                "fingerprints": topology.device_fingerprints(),
+                "entries": list(merged.values()),
+            }
+        blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        tmp_path = f"{path}.tmp.{os.getpid()}"
+        with open(tmp_path, "wb") as handle:
+            handle.write(blob)
+        os.replace(tmp_path, path)
+        self.counters.increment("persisted_entries", by=len(payload["entries"]))
+        return len(payload["entries"])
+
+    def _store_of_backing_key(self, bkey: str, key: _Key) -> Optional[str]:
+        """Recover which store a backing entry belongs to (key round-trip)."""
+        for store in self._stores:
+            if self._backing_key(store, key) == bkey:
+                return store
+        return None
+
+    def restore(self, path: str, topology) -> int:
+        """Load a persisted memo; returns the number of entries restored.
+
+        Validation is strict and failure is always *cold solve*, never an
+        error: an unreadable/corrupted file, a wrong format version, or a
+        file saved against a structurally different topology restores
+        nothing.  Otherwise each entry is admitted only if every device it
+        consulted still carries the allocation fingerprint recorded at
+        save time — the warm-restart analogue of the worker pool's epoch
+        validation — so allocation drift between save and restore drops
+        exactly the invalidated sub-solutions.
+        """
+        try:
+            with open(path, "rb") as handle:
+                payload = pickle.load(handle)
+        except Exception:
+            self.counters.increment("restore_rejected")
+            return 0
+        if (not isinstance(payload, dict)
+                or payload.get("format") != MEMO_FILE_FORMAT
+                or payload.get("topology")
+                != topology_structure_signature(topology)):
+            self.counters.increment("restore_rejected")
+            return 0
+        saved_fps = payload.get("fingerprints") or {}
+        live_fps = topology.device_fingerprints()
+        valid = {
+            name for name, fingerprint in saved_fps.items()
+            if live_fps.get(name) == fingerprint
+        }
+        restored = 0
+        with self._lock:
+            for entry in payload.get("entries", ()):
+                try:
+                    store, key, value, names = entry
+                except (TypeError, ValueError):
+                    continue
+                if store not in self._stores:
+                    continue
+                if any(name not in valid for name in names):
+                    continue
+                PlacementMemo._store(self, store, key, value, names)
+                self._backing.store(self._backing_key(store, key),
+                                    (key, value, names))
+                restored += 1
+        self.counters.increment("restored_entries", by=restored)
+        return restored
+
+    # ------------------------------------------------------------------ #
+    def summary(self) -> Dict[str, object]:
+        with self._lock:
+            summary: Dict[str, object] = {
+                "entries": PlacementMemo.__len__(self),
+                "sizes": {store: len(entries)
+                          for store, entries in self._stores.items()},
+                "backing_entries": len(self._backing),
+                "log_entries": len(self._log),
+            }
+        summary.update(self.counters.summary())
+        return summary

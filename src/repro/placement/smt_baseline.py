@@ -28,6 +28,7 @@ from repro.placement.blocks import Block, BlockDAG, build_block_dag
 from repro.placement.intra import IntraDeviceAllocator, StageAssignment
 from repro.placement.objective import ObjectiveWeights, PlacementObjective
 from repro.placement.plan import BlockAssignment, PlacementPlan
+from repro.placement.scoring import IntervalScorer
 
 
 @dataclass
@@ -87,6 +88,15 @@ class ExhaustivePlacer:
             adaptive=False,
         )
 
+        # The same vectorised scorer the DP search uses (gain_row is
+        # bit-identical to per-interval PlacementObjective.gain calls), so
+        # the Fig. 14(c) baseline comparison measures the solvers, not two
+        # different scoring code paths.  Rows are cached per interval start:
+        # the boundary enumeration revisits each (start, end) pair many
+        # times across assignments.
+        scorer = IntervalScorer(block_dag, ordered, objective)
+        gain_rows: Dict[int, List[float]] = {}
+
         best: Optional[ExhaustiveResult] = None
         explored = 0
         timed_out = False
@@ -100,7 +110,9 @@ class ExhaustivePlacer:
                 break
             explored += 1
             full = (0,) + boundaries + (num_units,)
-            result = self._evaluate(block_dag, ordered, full, objective)
+            result = self._evaluate(
+                block_dag, ordered, full, objective, scorer, gain_rows
+            )
             if result is None:
                 continue
             if best is None or result.gain > best.gain:
@@ -122,15 +134,21 @@ class ExhaustivePlacer:
     # ------------------------------------------------------------------ #
     def _evaluate(self, block_dag: BlockDAG, ordered: List[Block],
                   boundaries: Tuple[int, ...],
-                  objective: PlacementObjective) -> Optional[ExhaustiveResult]:
+                  objective: PlacementObjective,
+                  scorer: IntervalScorer,
+                  gain_rows: Dict[int, List[float]]
+                  ) -> Optional[ExhaustiveResult]:
         total_gain = 0.0
         assignments: Dict[int, StageAssignment] = {}
-        weights = objective.base_weights
+        num_units = len(ordered)
         for device_index, device in enumerate(self.devices):
             start, end = boundaries[device_index], boundaries[device_index + 1]
             if end == start:
                 continue
             blocks = ordered[start:end]
+            # feasibility still needs the concrete instruction list (the
+            # intra-device allocator packs stages); only scoring is shared
+            # with the DP path's scorer
             instructions = [
                 i for b in blocks for i in b.instructions(block_dag.program)
             ]
@@ -140,19 +158,18 @@ class ExhaustivePlacer:
             if assignment is None:
                 return None
             assignments[device_index] = assignment
-            inside = {b.block_id for b in blocks}
-            cut_bits = sum(
-                data.get("bits", 0)
-                for src, dst, data in block_dag.graph.edges(data=True)
-                if (src in inside) != (dst in inside)
-            )
-            total_gain += objective.gain(
-                served_fraction=1.0,
-                instruction_count=len(instructions),
-                transfer_bits=cut_bits,
-                weights=weights,
-                replicas=1,
-            )
+            row = gain_rows.get(start)
+            if row is None:
+                row = scorer.gain_row(
+                    start,
+                    served_fraction=1.0,
+                    weights=objective.base_weights,
+                    replicas=1,
+                    end_lo=start,
+                    end_hi=num_units + 1,
+                )
+                gain_rows[start] = row
+            total_gain += row[end - start]
         return ExhaustiveResult(
             gain=total_gain, boundaries=boundaries, assignments=assignments
         )

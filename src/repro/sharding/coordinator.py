@@ -115,6 +115,19 @@ class ShardCoordinator:
         topologies).
     shard_workers:
         Per-shard process-pool width for speculative compile waves.
+    memo:
+        A :class:`~repro.placement.memo.SharedPlacementMemo` shared by
+        every shard *and* the coordinator's own full-fabric controller; one
+        is created when omitted.  Memo keys are name-blind sub-tree
+        signatures over shared ``Device`` content, so shard A's pod table
+        warms the isomorphic pods of every other shard, and the memo's
+        per-key single-flight guard keeps concurrent shard threads from
+        deriving the same table twice.
+    memo_path:
+        Persist the shared memo to this file on :meth:`close` and restore
+        it (with topology/fingerprint validation) here, so a coordinator
+        restart skips the cold-solve memo derivations that still match the
+        live allocation state.
     controller_kwargs:
         Forwarded to every shard's (and the coordinator's own)
         :class:`ClickINC` controller.
@@ -122,18 +135,32 @@ class ShardCoordinator:
 
     def __init__(self, topology: NetworkTopology,
                  partition: Optional[PartitionMap] = None, *,
-                 shard_workers: int = 1, **controller_kwargs) -> None:
+                 shard_workers: int = 1, memo=None,
+                 memo_path: Optional[str] = None,
+                 **controller_kwargs) -> None:
+        from repro.placement.memo import SharedPlacementMemo
+
         self.topology = topology
         self.partition = partition or partition_by_pod(topology)
+        self.memo = memo if memo is not None else SharedPlacementMemo()
+        self.memo_path = memo_path
+        if memo_path is not None and hasattr(self.memo, "restore"):
+            import os
+
+            if os.path.exists(memo_path):
+                # validate against the full fabric: every shard view shares
+                # its Device objects, so fabric-valid entries are valid in
+                # every shard
+                self.memo.restore(memo_path, topology)
         views = self.partition.shard_views(topology)
         self.shards: Dict[str, ControllerShard] = {
             shard_id: ControllerShard(shard_id, view, workers=shard_workers,
-                                      **controller_kwargs)
+                                      memo=self.memo, **controller_kwargs)
             for shard_id, view in views.items()
         }
         #: the coordinator's own full-fabric controller: cross-shard
         #: programs compile, commit and run through it
-        self.inter = ClickINC(topology, **controller_kwargs)
+        self.inter = ClickINC(topology, memo=self.memo, **controller_kwargs)
         self.stats = ServiceStats()
         # one counter bag per shard, shared between the shard object and the
         # coordinator's per-shard breakdown — incremented exactly once
@@ -711,16 +738,27 @@ class ShardCoordinator:
         summary["cross_shard_programs"] = sum(
             1 for owner in self._owner.values() if owner == CROSS_SHARD
         )
+        if hasattr(self.memo, "summary"):
+            summary["memo"] = self.memo.summary()
         return summary
 
     # ------------------------------------------------------------------ #
     # lifecycle
     # ------------------------------------------------------------------ #
     def close(self) -> None:
-        """Release every shard's worker pool and the coordinator's own."""
+        """Release every shard's worker pool and the coordinator's own.
+
+        With ``memo_path`` set the shared memo is persisted here
+        (best-effort, like the controller's own save path).
+        """
         for shard in self.shards.values():
             shard.close()
         self.inter.close()
+        if self.memo_path is not None and hasattr(self.memo, "save"):
+            try:
+                self.memo.save(self.memo_path, self.topology)
+            except Exception:
+                pass
 
     def __enter__(self) -> "ShardCoordinator":
         return self

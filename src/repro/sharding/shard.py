@@ -44,16 +44,24 @@ class ControllerShard:
         The shard-local topology view (region devices + shared border).
     workers:
         Process-pool width for this shard's speculative compile waves.
+    memo:
+        Placement memo for the shard's DP placer.  The coordinator passes
+        one :class:`~repro.placement.memo.SharedPlacementMemo` to every
+        shard (and to its own cross-shard controller): memo keys are
+        name-blind and content-addressed via the symmetric-pod sub-tree
+        signatures, so a pod sub-tree table derived while placing in shard
+        A is a direct hit for the isomorphic pod of shard B.  Omit it for
+        a private per-shard memo.
     controller_kwargs:
         Forwarded to the shard's :class:`ClickINC` controller.
     """
 
     def __init__(self, shard_id: str, view: NetworkTopology, *,
-                 workers: int = 1, **controller_kwargs) -> None:
+                 workers: int = 1, memo=None, **controller_kwargs) -> None:
         self.shard_id = shard_id
         self.view = view
         self.workers = max(1, int(workers))
-        self.controller = ClickINC(view, **controller_kwargs)
+        self.controller = ClickINC(view, memo=memo, **controller_kwargs)
         #: the shard's commit lock: intra-shard waves hold it for their
         #: commit phase, cross-shard prepares take it for the 2PC window
         self.lock = threading.RLock()
