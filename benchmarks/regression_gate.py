@@ -46,6 +46,14 @@ non-zero when
   skips less than ``min_warm_restart_reuse`` of the cold solve's memo
   derivations.
 
+``--suite obs`` runs the telemetry-overhead benchmark
+(:mod:`benchmarks.bench_obs_overhead`) and fails when
+
+* the relative wall-clock overhead of live tracing + metrics on a warm
+  ``deploy_many`` wave exceeds ``max_obs_overhead`` (default 5%), or
+* the live side stops producing complete traces or a non-empty
+  Prometheus exposition (an accidentally-inert hub must not "pass").
+
 ``--suite gateway`` runs the multi-tenant gateway QoS benchmark
 (:mod:`benchmarks.bench_gateway_qos`) and fails when
 
@@ -94,6 +102,9 @@ from benchmarks.bench_shared_memo import (  # noqa: E402
 )
 from benchmarks.bench_gateway_qos import (  # noqa: E402
     run_all as run_gateway_qos,
+)
+from benchmarks.bench_obs_overhead import (  # noqa: E402
+    run_all as run_obs_overhead,
 )
 from benchmarks.bench_sharded_scaling import (  # noqa: E402
     MIN_CORES as SHARDED_MIN_CORES,
@@ -221,6 +232,51 @@ def measure_gateway() -> dict:
             overload["precommitted_survived"]
         ),
     }
+
+
+def measure_obs() -> dict:
+    results = run_obs_overhead()
+    overhead = results["overhead"]
+    return {
+        "generated_unix_time": int(time.time()),
+        "obs_wave_size": overhead["n"],
+        "obs_rounds": overhead["rounds"],
+        "obs_disabled_wave_s": round(overhead["disabled_wave_s"], 4),
+        "obs_live_wave_s": round(overhead["live_wave_s"], 4),
+        "obs_relative_overhead": round(overhead["relative_overhead"], 4),
+        "obs_traces_completed": overhead["traces_completed"],
+        "obs_exposition_bytes": overhead["exposition_bytes"],
+        "obs_stage_histogram_present": bool(
+            overhead["stage_histogram_present"]
+        ),
+    }
+
+
+def check_obs(measured: dict, baseline: dict) -> list:
+    failures = []
+    max_overhead = float(baseline.get("max_obs_overhead", 0.05))
+    if measured["obs_relative_overhead"] > max_overhead:
+        failures.append(
+            f"live tracing + metrics add"
+            f" {measured['obs_relative_overhead']:.1%} to a warm"
+            f" deploy_many wave (must stay within {max_overhead:.0%}:"
+            f" disabled {measured['obs_disabled_wave_s']:.4f}s, live"
+            f" {measured['obs_live_wave_s']:.4f}s)"
+        )
+    expected_traces = measured["obs_wave_size"] * measured["obs_rounds"]
+    if measured["obs_traces_completed"] < expected_traces:
+        failures.append(
+            f"the live side completed only"
+            f" {measured['obs_traces_completed']}/{expected_traces} traces —"
+            " the overhead number no longer measures real instrumentation"
+        )
+    if (measured["obs_exposition_bytes"] <= 0
+            or not measured["obs_stage_histogram_present"]):
+        failures.append(
+            "the live side's Prometheus exposition is empty or lost the"
+            " pipeline stage histogram — the hub was silently inert"
+        )
+    return failures
 
 
 def check_gateway(measured: dict, baseline: dict) -> list:
@@ -475,10 +531,11 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--suite",
-        choices=("pipeline", "scaling", "gateway"),
+        choices=("pipeline", "scaling", "gateway", "obs"),
         default="pipeline",
         help="pipeline: deploy/service/migration/sharding; scaling:"
-             " fabric-scale; gateway: multi-tenant QoS",
+             " fabric-scale; gateway: multi-tenant QoS; obs: telemetry"
+             " overhead",
     )
     parser.add_argument(
         "--full-workload",
@@ -491,6 +548,8 @@ def main(argv=None) -> int:
         measured = measure_scaling(reduced=not args.full_workload)
     elif args.suite == "gateway":
         measured = measure_gateway()
+    elif args.suite == "obs":
+        measured = measure_obs()
     else:
         measured = measure()
     output = args.output or f"BENCH_{args.suite}.json"
@@ -503,6 +562,8 @@ def main(argv=None) -> int:
         failures = check_scaling(measured, baseline)
     elif args.suite == "gateway":
         failures = check_gateway(measured, baseline)
+    elif args.suite == "obs":
+        failures = check_obs(measured, baseline)
     else:
         failures = check(measured, baseline)
     if failures:

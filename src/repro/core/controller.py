@@ -45,6 +45,7 @@ from repro.exceptions import DeploymentError
 from repro.frontend.compiler import FrontendCompiler
 from repro.ir.program import IRProgram
 from repro.lang.profile import Profile
+from repro.obs import Observability
 from repro.placement.dp import DPPlacer
 from repro.placement.memo import PlacementMemo, SharedPlacementMemo
 from repro.synthesis.incremental import IncrementalSynthesizer, SynthesisDelta
@@ -60,7 +61,8 @@ class ClickINC:
                  adaptive_weights: bool = True, generate_code: bool = True,
                  cache: Optional[ArtifactCache] = None,
                  memo: Optional[PlacementMemo] = None,
-                 memo_path: Optional[str] = None) -> None:
+                 memo_path: Optional[str] = None,
+                 obs: Optional["Observability"] = None) -> None:
         self.topology = topology
         self.compiler = FrontendCompiler()
         # The placement memo defaults to the shared flavour so worker pools
@@ -83,6 +85,7 @@ class ClickINC:
         self.adaptive_weights = adaptive_weights
         self.generate_code = generate_code
         self.cache = cache if cache is not None else ArtifactCache()
+        self.obs = obs if obs is not None else Observability.default()
         self.pipeline = CompilationPipeline(
             topology=topology,
             compiler=self.compiler,
@@ -92,7 +95,13 @@ class ClickINC:
             cache=self.cache,
             generate_code=generate_code,
             adaptive_weights=adaptive_weights,
+            obs=self.obs,
         )
+        # expose the memo's live counter bag on the registry (shared memos
+        # register once thanks to identity-keyed registration)
+        memo_counters = getattr(self.memo, "counters", None)
+        if memo_counters is not None:
+            self.obs.registry.register_counters("clickinc_memo", memo_counters)
         self.deployed: Dict[str, DeployedProgram] = {}
         self._runtime = None   # lazily-created RuntimeManager (see runtime())
 

@@ -66,6 +66,7 @@ from repro.core.pipeline import (
 from repro.frontend.compiler import FrontendCompiler
 from repro.ir.program import IRProgram
 from repro.ir.verify import verify_program
+from repro.obs.trace import SpanCollector, SpanRecord
 from repro.placement.dp import DPPlacer, PlacementRequest
 from repro.placement.plan import PlacementPlan
 
@@ -109,6 +110,11 @@ class SpeculativeResult:
     #: its shared memo and relays them to the other workers, then clears
     #: the field before the result reaches the commit phase.
     memo_delta: Optional[bytes] = None
+    #: spans the worker recorded while the request carried a trace context
+    #: (:class:`~repro.obs.trace.SpanRecord` list); like ``memo_delta`` they
+    #: ride the result across the pickle boundary and are detached by the
+    #: parent, which stitches them into the live trace.
+    trace_spans: Optional[List[SpanRecord]] = None
 
 
 #: Per-worker state built once by the pool initializer (each worker process
@@ -215,6 +221,9 @@ def _worker_compile_and_place(
     compiler: FrontendCompiler = _WORKER_CONTEXT["compiler"]
     placer: DPPlacer = _WORKER_CONTEXT["placer"]
     records: List[StageRecord] = []
+    # the parent's Tracer is unreachable from here; record spans into a
+    # plain collector and ship them back on the result (like memo_delta)
+    spans = SpanCollector(request.trace) if request.trace is not None else None
     stage = "frontend"
     try:
         if precompiled is not None:
@@ -234,15 +243,23 @@ def _worker_compile_and_place(
             verify_program(program)
             records.append(StageRecord("ir-verify", time.perf_counter() - start))
         else:
-            program, records = compile_request(
-                request, compiler, _WORKER_CONTEXT["cache"]
-            )
+            if spans is not None:
+                with spans.span("worker.compile",
+                                single_flight=precompiled is not None):
+                    program, records = compile_request(
+                        request, compiler, _WORKER_CONTEXT["cache"]
+                    )
+            else:
+                program, records = compile_request(
+                    request, compiler, _WORKER_CONTEXT["cache"]
+                )
     except Exception as exc:
         return SpeculativeResult(
             index=index,
             records=records,
             error=str(exc),
             failed_stage=getattr(exc, "pipeline_stage", stage),
+            trace_spans=spans.records if spans is not None else None,
         )
     try:
         placement_request = PlacementRequest(
@@ -254,7 +271,11 @@ def _worker_compile_and_place(
             ),
             adaptive_weights=_WORKER_CONTEXT["adaptive_weights"],
         )
-        plan = placer.place(placement_request)
+        if spans is not None:
+            with spans.span("worker.place"):
+                plan = placer.place(placement_request)
+        else:
+            plan = placer.place(placement_request)
         # the worker's device versions are meaningless to the parent; stamp
         # the plan with the parent epoch its snapshot was synced to, so the
         # parent can epoch-validate it
@@ -270,6 +291,7 @@ def _worker_compile_and_place(
             error=str(exc),
             failed_stage="placement",
             memo_delta=_worker_export_memo_delta(),
+            trace_spans=spans.records if spans is not None else None,
         )
     return SpeculativeResult(
         index=index,
@@ -277,6 +299,7 @@ def _worker_compile_and_place(
         records=records,
         plan=plan,
         memo_delta=_worker_export_memo_delta(),
+        trace_spans=spans.records if spans is not None else None,
     )
 
 
@@ -397,6 +420,19 @@ class ParallelCompileService(CounterMixin):
         if memo is not None:
             memo.apply_delta(blob, record=True)
 
+    def _absorb_trace_spans(self, result: SpeculativeResult) -> None:
+        """Stitch worker-recorded spans into the live trace.
+
+        Same shape as the memo-delta absorption: the records crossed the
+        pickle boundary on the result and are detached here so the commit
+        phase never sees them.
+        """
+        records = result.trace_spans
+        if records is None:
+            return
+        result.trace_spans = None
+        self.pipeline.obs.tracer.add_spans(records)
+
     # ------------------------------------------------------------------ #
     # pool lifecycle
     # ------------------------------------------------------------------ #
@@ -502,6 +538,7 @@ class ParallelCompileService(CounterMixin):
         """Compile + speculatively place a batch; results in request order."""
         requests = list(requests)
         results: List[Optional[SpeculativeResult]] = [None] * len(requests)
+        compile_start = time.perf_counter()
         self._ensure_pool()
         sync = self._sync_payload()
         cache = self.pipeline.cache
@@ -541,6 +578,8 @@ class ParallelCompileService(CounterMixin):
         self._run_wave(requests, followers, precompiled, results,
                        self._refresh_memo_sync(sync))
         self.increment("batches_served")
+        self.pipeline._phase_hist.labels("compile").observe(
+            time.perf_counter() - compile_start)
         return results
 
     def _refresh_memo_sync(
@@ -677,6 +716,7 @@ class ParallelCompileService(CounterMixin):
                 results[index] = retried
             else:
                 self._absorb_memo_delta(result)
+                self._absorb_trace_spans(result)
                 results[index] = result
 
     def _compile_inline(self, index: int, request: DeployRequest) -> SpeculativeResult:

@@ -53,6 +53,8 @@ from repro.frontend.compiler import (
 from repro.ir.program import IRProgram
 from repro.ir.verify import verify_program
 from repro.lang.profile import Profile
+from repro.obs import Observability
+from repro.obs.trace import TraceContext
 from repro.placement.blocks import BlockDAG
 from repro.placement.dp import DPPlacer, PlacementRequest
 from repro.placement.plan import PlacementPlan
@@ -87,6 +89,11 @@ class DeployRequest:
     constants: Optional[Dict[str, object]] = None
     header_fields: Optional[Dict[str, int]] = None
     traffic_rates: Optional[Dict[str, float]] = None
+    #: Distributed-tracing context.  Attached by whoever started the trace
+    #: (gateway or service), propagated through admission queues and the
+    #: worker-pool pickle boundary, and deliberately excluded from every
+    #: cache key (keys derive from program content and placement state).
+    trace: Optional[TraceContext] = None
 
     def __post_init__(self) -> None:
         inputs = [x is not None for x in (self.profile, self.source, self.program)]
@@ -320,6 +327,7 @@ class CompilationPipeline:
         cache: Optional[ArtifactCache] = None,
         generate_code: bool = True,
         adaptive_weights: bool = True,
+        obs: Optional[Observability] = None,
     ) -> None:
         self.topology = topology
         self.compiler = compiler
@@ -333,6 +341,19 @@ class CompilationPipeline:
         # parallel_service(); kept alive across batches and released by
         # close())
         self._parallel = None
+        self.obs = obs if obs is not None else Observability.default()
+        registry = self.obs.registry
+        self._stage_hist = registry.histogram(
+            "clickinc_pipeline_stage_seconds",
+            "Wall-clock seconds per pipeline stage per deployment",
+            ("stage",))
+        self._phase_hist = registry.histogram(
+            "clickinc_wave_phase_seconds",
+            "Seconds per deployment-wave phase (compile / commit)",
+            ("phase",))
+        self._memo_hit_hist = registry.histogram(
+            "clickinc_memo_hit_seconds",
+            "Service time of plan-cache / placement-memo warm hits")
 
     # ------------------------------------------------------------------ #
     # pure stages (safe to run concurrently across requests)
@@ -520,6 +541,7 @@ class CompilationPipeline:
         """
         program = placement_request.program
         key = self.plan_cache_key(placement_request)
+        lookup_start = time.perf_counter()
         hit, cached = self.cache.lookup(key)
         if hit:
             plan = rebrand_plan(cached, program)
@@ -527,6 +549,7 @@ class CompilationPipeline:
             # the allocation state is content-identical to placement time;
             # re-stamp the epoch so validation fast-paths on the live value
             plan.epoch = self.topology.allocation_epoch()
+            self._memo_hit_hist.observe(time.perf_counter() - lookup_start)
             return plan, True
         plan = self.placer.place(placement_request)
         self.cache.store(key, plan)
@@ -696,6 +719,7 @@ class CompilationPipeline:
         report.deployed = deployed
         deployed.deploy_time_s = report.total_s
         deployed.report = report
+        self._finish_report(request, report)
         return report
 
     def run_many(self, requests: Sequence[DeployRequest],
@@ -773,11 +797,24 @@ class CompilationPipeline:
             report.deployed = deployed
             deployed.deploy_time_s = report.total_s
             deployed.report = report
+        for request, report in zip(requests, reports):
+            self._finish_report(request, report)
         return reports
 
     def commit_speculative_result(self, request: DeployRequest, result,
                                   report: PipelineReport,
                                   started: float) -> PipelineReport:
+        commit_start = time.perf_counter()
+        try:
+            return self._commit_speculative(request, result, report, started)
+        finally:
+            self._phase_hist.labels("commit").observe(
+                time.perf_counter() - commit_start)
+            self._finish_report(request, report)
+
+    def _commit_speculative(self, request: DeployRequest, result,
+                            report: PipelineReport,
+                            started: float) -> PipelineReport:
         """Drive the commit phase for one speculative compile result.
 
         *result* is a :class:`~repro.core.parallel.SpeculativeResult` from
@@ -821,6 +858,33 @@ class CompilationPipeline:
         deployed.deploy_time_s = report.total_s
         deployed.report = report
         return report
+
+    def _finish_report(self, request: DeployRequest,
+                       report: PipelineReport) -> None:
+        """Telemetry at report completion (exactly once per deployment).
+
+        Observes every stage duration into the stage histogram and, when
+        the request carries a trace context, emits one span per stage.
+        Stage spans are duration-faithful but end-aligned: the records only
+        store durations, so spans are stacked back from now — exact for the
+        just-committed stages, shifted for compile stages that ran earlier
+        in a worker (whose own worker-side spans carry real timestamps).
+        """
+        tracer = self.obs.tracer
+        ctx = request.trace
+        emit = ctx is not None and tracer.enabled
+        if not emit and not self.obs.registry.enabled:
+            return
+        cursor = time.time() - sum(r.duration_s for r in report.stages)
+        for record in report.stages:
+            self._stage_hist.labels(record.name).observe(record.duration_s)
+            if emit:
+                cursor += record.duration_s
+                tracer.emit(ctx, record.name, record.duration_s,
+                            end_s=cursor, cache_hit=record.cache_hit)
+        if emit and not report.succeeded:
+            tracer.emit(ctx, "pipeline-error", 0.0, error=report.error,
+                        failed_stage=report.failed_stage)
 
     def _run_many_speculative(self, requests: List[DeployRequest],
                               workers: int) -> List[PipelineReport]:

@@ -1,116 +1,27 @@
-"""Lightweight profiling hooks for the placement engine.
+"""Back-compat shim: placement profiling now lives in :mod:`repro.obs`.
 
-The fabric-scale benchmarks need to attribute placement time to *search*
-(DP recursion), *scoring* (objective evaluation), *feasibility* (intra-device
-allocation) and *validation* (fingerprint sweeps), and to report how often
-the cross-epoch memo table short-circuits each of those.  Two small pieces
-provide that without touching the hot loops' structure:
-
-* :class:`StageTimers` — named wall-clock accumulators used as context
-  managers around each placement stage;
-* :class:`PlacementCounters` — a :class:`~repro.core.stats.CounterMixin`
-  dataclass of running integer counters bumped from the DP placer, so a
-  mistyped counter name fails loudly like every other stats object in the
-  repo.
-
-:class:`PlacementProfile` bundles the two and renders one flat summary dict
-that the benchmarks serialise next to their timing numbers and the CI
-coverage job prints into its step summary (``python -m repro.core.profiling``
-runs a small end-to-end placement and prints that dict).
+:class:`StageTimers`, :class:`PlacementCounters` and
+:class:`PlacementProfile` moved to :mod:`repro.obs.profiling` when the
+unified telemetry layer landed — every live profile now also feeds the
+metrics registry (``clickinc_placement_*`` series on ``/v1/metrics``).
+This module re-exports the classes unchanged so existing imports (the
+DP placer, benchmarks, external scripts) keep working, and it still owns
+the CI demo: ``python -m repro.core.profiling`` places two templates on
+the Fig. 11 topology and prints the profile summary as JSON, exactly as
+before.
 """
 
 from __future__ import annotations
 
-import time
-from contextlib import contextmanager
-from dataclasses import dataclass, fields
-from typing import Dict, Iterator
+from typing import Dict
 
-from repro.core.stats import CounterMixin
+from repro.obs.profiling import (  # noqa: F401  (re-exported)
+    PlacementCounters,
+    PlacementProfile,
+    StageTimers,
+)
 
 __all__ = ["PlacementCounters", "StageTimers", "PlacementProfile"]
-
-
-@dataclass
-class PlacementCounters(CounterMixin):
-    """Running counters of the DP placer's optimised search path."""
-
-    #: intervals evaluated (memo hits + misses)
-    interval_evals: int = 0
-    #: interval evaluations answered from the cross-epoch memo
-    interval_memo_hits: int = 0
-    #: per-device feasibility checks requested (memo hits + allocator runs)
-    device_checks: int = 0
-    #: feasibility checks answered from the memo without running Algorithm 2
-    device_memo_hits: int = 0
-    #: client/server sub-tree DP tables solved from scratch
-    subtree_solves: int = 0
-    #: sub-tree tables reused from the memo via signature correspondence
-    subtree_memo_hits: int = 0
-    #: batched objective rows computed by the vectorised scorer
-    score_rows: int = 0
-    #: individual interval gains served from those rows
-    scored_intervals: int = 0
-    #: candidate combinations enumerated by the deduplicated product
-    product_combos: int = 0
-    #: symmetric child groups whose permutations were collapsed
-    product_symmetric_groups: int = 0
-    #: memo entries dropped by commit/release/remove pruning
-    memo_pruned_entries: int = 0
-
-    def summary(self) -> Dict[str, int]:
-        return {f.name: getattr(self, f.name) for f in fields(self)}
-
-
-class StageTimers:
-    """Named wall-clock accumulators: seconds and call counts per stage."""
-
-    def __init__(self) -> None:
-        self._seconds: Dict[str, float] = {}
-        self._calls: Dict[str, int] = {}
-
-    @contextmanager
-    def stage(self, name: str) -> Iterator[None]:
-        start = time.perf_counter()
-        try:
-            yield
-        finally:
-            elapsed = time.perf_counter() - start
-            self._seconds[name] = self._seconds.get(name, 0.0) + elapsed
-            self._calls[name] = self._calls.get(name, 0) + 1
-
-    def seconds(self, name: str) -> float:
-        return self._seconds.get(name, 0.0)
-
-    def calls(self, name: str) -> int:
-        return self._calls.get(name, 0)
-
-    def summary(self) -> Dict[str, Dict[str, float]]:
-        return {
-            name: {"seconds": round(self._seconds[name], 6),
-                   "calls": self._calls[name]}
-            for name in sorted(self._seconds)
-        }
-
-    def reset(self) -> None:
-        self._seconds.clear()
-        self._calls.clear()
-
-
-class PlacementProfile:
-    """Counters + timers for one :class:`~repro.placement.dp.DPPlacer`."""
-
-    def __init__(self) -> None:
-        self.counters = PlacementCounters()
-        self.timers = StageTimers()
-
-    def reset(self) -> None:
-        self.counters = PlacementCounters()
-        self.timers.reset()
-
-    def summary(self) -> Dict[str, object]:
-        return {"counters": self.counters.summary(),
-                "timers": self.timers.summary()}
 
 
 def _demo_summary() -> Dict[str, object]:

@@ -55,6 +55,8 @@ from repro.core.controller import ClickINC
 from repro.core.pipeline import DeployRequest, PipelineReport
 from repro.core.stats import CounterMixin, ShardCounters
 from repro.exceptions import DeploymentError
+from repro.obs import Observability
+from repro.obs.metrics import Sample
 from repro.synthesis.incremental import SynthesisDelta
 from repro.topology.network import NetworkTopology
 
@@ -95,6 +97,8 @@ class _Admission:
     #: absolute ``time.monotonic()`` deadline: a submission still queued
     #: when it passes fails fast (stage ``deadline``) without compiling
     deadline: Optional[float] = None
+    #: ``time.monotonic()`` at admission, for the queue-wait histogram
+    enqueued_at: float = 0.0
 
 
 @dataclass
@@ -194,9 +198,13 @@ class INCService:
                  max_wave: int = 8, max_pending: int = 0,
                  coalesce_s: float = 0.001, sharded: bool = False,
                  partition=None, shard_workers: Optional[int] = None,
+                 cross_workers: int = 0,
+                 obs: Optional[Observability] = None,
                  **controller_kwargs) -> None:
         from repro.sharding.coordinator import ShardCoordinator
 
+        if obs is not None:
+            controller_kwargs.setdefault("obs", obs)
         self.coordinator: Optional[ShardCoordinator] = None
         if isinstance(controller_or_topology, ShardCoordinator):
             if controller_kwargs or sharded or partition is not None:
@@ -221,6 +229,7 @@ class INCService:
                     controller_or_topology, partition,
                     shard_workers=(1 if shard_workers is None
                                    else shard_workers),
+                    cross_workers=cross_workers,
                     **controller_kwargs)
                 self.controller = self.coordinator.inter
             else:
@@ -241,6 +250,18 @@ class INCService:
         # service-level summary without any double counting
         self.stats = (ServiceStats() if self.coordinator is None
                       else self.coordinator.stats)
+        # one hub for the whole stack: adopt the controller's unless the
+        # caller handed us a different one explicitly
+        self.obs = obs if obs is not None else getattr(
+            self.controller, "obs", None) or Observability.default()
+        registry = self.obs.registry
+        self._queue_wait_hist = registry.histogram(
+            "clickinc_admission_wait_seconds",
+            "Seconds a submission waited in its admission lane before "
+            "its compile wave dispatched", ("lane",))
+        registry.register_counters("clickinc_service", self.stats)
+        registry.register_collector(self._pool_samples,
+                                    key=("service-pool", id(self)))
         self._queue: Optional["asyncio.Queue[_Admission]"] = None
         self._dispatcher: Optional["asyncio.Task"] = None
         #: sharded mode: one admission lane (queue + dispatcher) per shard
@@ -368,11 +389,22 @@ class INCService:
         the touched shards' commit locks.
         """
         self._ensure_started()
+        tracer = self.obs.tracer
+        owns_trace = False
+        if tracer.enabled and request.trace is None:
+            # the gateway starts the trace when the submission came over
+            # the wire; a direct service submit roots it here instead, and
+            # only the creator finishes it into the completed ring
+            request.trace = tracer.start_trace(
+                "submit", program=request.resolved_name())
+            owns_trace = True
         queue = self._queue
         if self.coordinator is not None:
             touched, route_error = self.coordinator._route(request)
             if route_error is not None:
                 self.stats.record_wave(1, failures=1)
+                if owns_trace:
+                    tracer.finish(request.trace, status="error")
                 return route_error
             if len(touched) > 1:
                 # register the in-flight cross submission (lane None) so a
@@ -397,6 +429,10 @@ class INCService:
                 self.stats.record_wave(
                     1, failures=0 if report.succeeded else 1
                 )
+                if owns_trace:
+                    tracer.finish(request.trace,
+                                  status="ok" if report.succeeded
+                                  else "error")
                 return report
             queue = self._lanes[touched[0]]
         admission = self._admit(_Admission(
@@ -404,7 +440,11 @@ class INCService:
             future=asyncio.get_running_loop().create_future(),
             request=request,
             deadline=deadline,
+            enqueued_at=time.monotonic(),
         ))
+        if owns_trace:
+            admission.future.add_done_callback(
+                self._trace_finisher(request.trace))
         if self.coordinator is not None:
             name = request.resolved_name()
             token = admission.future
@@ -520,6 +560,33 @@ class INCService:
         ))
         await self._queue.put(admission)
         return await admission.future
+
+    def _trace_finisher(self, ctx):
+        """A future callback closing a service-rooted trace."""
+        def finish(future: "asyncio.Future") -> None:
+            status = "error"
+            if not future.cancelled() and future.exception() is None:
+                report = future.result()
+                status = ("ok" if getattr(report, "succeeded", False)
+                          else "error")
+            self.obs.tracer.finish(ctx, status=status)
+        return finish
+
+    def _pool_samples(self):
+        """Render-time gauge/counter samples of the worker-pool vitals."""
+        service = self.controller.pipeline.parallel
+        if service is None:
+            return []
+        return [
+            Sample("clickinc_pool_generation", {}, service.pool_generation,
+                   "gauge", "Worker pools forked over the service lifetime"),
+            Sample("clickinc_pool_batches_served_total", {},
+                   service.batches_served, "counter",
+                   "Speculative compile batches served by the pool"),
+            Sample("clickinc_pool_inline_fallbacks_total", {},
+                   service.inline_fallbacks, "counter",
+                   "Requests that fell back to the in-process compile path"),
+        ]
 
     def _admit(self, admission: _Admission) -> _Admission:
         self._ensure_started()
@@ -694,10 +761,15 @@ class INCService:
         live: List[_Admission] = []
         expired = 0
         now = time.monotonic()
+        lane = shard_id if shard_id is not None else "default"
+        tracer = self.obs.tracer
         for admission in wave:
             if admission.deadline is not None and now > admission.deadline:
                 expired += 1
                 self.stats.increment("deadline_expired")
+                self.obs.events.emit(
+                    "deadline_expired", where="admission-queue", lane=lane,
+                    program=admission.request.resolved_name())
                 if not admission.future.done():
                     admission.future.set_result(
                         deadline_report(admission.request.resolved_name(),
@@ -705,6 +777,11 @@ class INCService:
                                         "while it was queued for admission")
                     )
             else:
+                if admission.enqueued_at:
+                    waited = now - admission.enqueued_at
+                    self._queue_wait_hist.labels(lane).observe(waited)
+                    tracer.emit(admission.request.trace, "queue.wait",
+                                waited, lane=lane)
                 live.append(admission)
         if not live:
             if expired:
@@ -719,6 +796,7 @@ class INCService:
         else:
             run = partial(self.controller.deploy_many, requests,
                           workers=self.workers)
+        wave_start = time.perf_counter()
         try:
             reports = await loop.run_in_executor(None, run)
         except Exception as exc:  # defensive: deploy_many captures per-request
@@ -726,6 +804,10 @@ class INCService:
                 if not admission.future.done():
                     admission.future.set_exception(exc)
             return
+        wave_s = time.perf_counter() - wave_start
+        for admission in wave:
+            tracer.emit(admission.request.trace, "wave.execute", wave_s,
+                        lane=lane, wave_size=len(wave))
         self.stats.record_wave(
             total,
             failures=expired + sum(1 for report in reports

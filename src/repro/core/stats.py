@@ -12,7 +12,7 @@ and per-shard breakdowns (:class:`ShardCounters`) aggregate uniformly.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields, is_dataclass
 from typing import Dict
 
 __all__ = ["CounterMixin", "MemoCounters", "ShardCounters", "TenantCounters"]
@@ -38,6 +38,28 @@ class CounterMixin:
         setattr(self, counter, updated)
         return updated
 
+    def counters(self) -> Dict[str, int]:
+        """Every declared integer counter, in declaration order.
+
+        This is the single enumeration the summaries *and* the metrics
+        registry (:meth:`repro.obs.metrics.MetricsRegistry.register_counters`)
+        read, so the wire views cannot drift from ``/v1/metrics``: a new
+        counter field shows up everywhere at once.
+        """
+        if is_dataclass(self):
+            names = [f.name for f in fields(self)]
+        else:
+            names = list(vars(self))
+        out: Dict[str, int] = {}
+        for name in names:
+            value = getattr(self, name)
+            if isinstance(value, int) and not isinstance(value, bool):
+                out[name] = value
+        return out
+
+    def summary(self) -> Dict[str, int]:
+        return self.counters()
+
 
 @dataclass
 class ShardCounters(CounterMixin):
@@ -59,14 +81,6 @@ class ShardCounters(CounterMixin):
     #: programs migrated off this shard's devices by runtime events
     migrations: int = 0
 
-    def summary(self) -> Dict[str, int]:
-        return {
-            "deploys": self.deploys,
-            "removed": self.removed,
-            "cross_shard_commits": self.cross_shard_commits,
-            "aborted_prepares": self.aborted_prepares,
-            "migrations": self.migrations,
-        }
 
 
 @dataclass
@@ -109,21 +123,6 @@ class MemoCounters(CounterMixin):
     #: allocation-state guard (should stay 0; see StaleMemoError)
     stale_rejections: int = 0
 
-    def summary(self) -> Dict[str, int]:
-        return {
-            "hits": self.hits,
-            "shared_hits": self.shared_hits,
-            "misses": self.misses,
-            "delta_entries_in": self.delta_entries_in,
-            "delta_bytes_in": self.delta_bytes_in,
-            "delta_entries_out": self.delta_entries_out,
-            "delta_bytes_out": self.delta_bytes_out,
-            "duplicate_entries": self.duplicate_entries,
-            "restored_entries": self.restored_entries,
-            "persisted_entries": self.persisted_entries,
-            "restore_rejected": self.restore_rejected,
-            "stale_rejections": self.stale_rejections,
-        }
 
 
 @dataclass
@@ -156,14 +155,3 @@ class TenantCounters(CounterMixin):
     #: programs removed by the tenant
     removed: int = 0
 
-    def summary(self) -> Dict[str, int]:
-        return {
-            "submitted": self.submitted,
-            "committed": self.committed,
-            "failed": self.failed,
-            "rejected_quota": self.rejected_quota,
-            "rejected_backpressure": self.rejected_backpressure,
-            "shed": self.shed,
-            "deadline_expired": self.deadline_expired,
-            "removed": self.removed,
-        }

@@ -122,11 +122,14 @@ class WeightedFairScheduler:
     """
 
     def __init__(self, dispatch, *, capacity: int = 64, wave: int = 4,
-                 quantum: float = 1.0) -> None:
+                 quantum: float = 1.0, events=None) -> None:
         self._dispatch = dispatch
         self.capacity = max(0, int(capacity))
         self.wave = max(1, int(wave))
         self.quantum = float(quantum)
+        #: optional :class:`~repro.obs.events.EventLog` for shed /
+        #: backpressure records (the gateway wires its hub's log in)
+        self.events = events
         self._lanes: Dict[str, _Lane] = {}
         self._outstanding: set = set()
         self._closed = False
@@ -148,11 +151,17 @@ class WeightedFairScheduler:
         if self.capacity and lane.queued >= self.capacity:
             victim = self._shed_candidate(lane, tenant)
             if victim is None:
+                retry_after = self._retry_after(lane)
+                if self.events is not None:
+                    self.events.emit(
+                        "backpressure", lane=lane_key,
+                        tenant=tenant.tenant_id, queued=lane.queued,
+                        retry_after=round(retry_after, 3))
                 raise WireError(
                     429, "backpressure",
                     f"admission lane {lane_key!r} is saturated"
                     f" ({lane.queued} queued); retry later",
-                    retry_after=self._retry_after(lane),
+                    retry_after=retry_after,
                 )
             self._shed(lane, victim)
         ticket = AdmissionTicket(
@@ -197,6 +206,9 @@ class WeightedFairScheduler:
         queue.tickets.remove(victim)
         lane.queued -= 1
         victim.tenant.counters.increment("shed")
+        if self.events is not None:
+            self.events.emit("shed", lane=lane.key,
+                             tenant=victim.tenant.tenant_id)
         if not victim.future.done():
             victim.future.set_exception(WireError(
                 503, "shed",

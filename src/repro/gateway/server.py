@@ -47,6 +47,8 @@ from typing import Dict, Optional, Tuple
 
 from repro.core.service import INCService
 from repro.gateway.auth import Tenant, TenantRegistry
+from repro.obs import Observability
+from repro.obs.metrics import Sample
 from repro.gateway.quota import QuotaLedger
 from repro.gateway.scheduler import AdmissionTicket, WeightedFairScheduler
 from repro.gateway.wire import (
@@ -60,7 +62,10 @@ from repro.gateway.wire import (
 
 __all__ = ["Gateway", "GatewayHTTPServer"]
 
-Response = Tuple[int, Dict[str, str], Dict[str, object]]
+#: (status, extra headers, payload) — the payload is a JSON-able dict for
+#: every endpoint except ``GET /v1/metrics``, whose payload is the
+#: Prometheus text exposition as a plain string
+Response = Tuple[int, Dict[str, str], object]
 
 
 class Gateway:
@@ -83,14 +88,21 @@ class Gateway:
 
     def __init__(self, service: INCService, registry: TenantRegistry, *,
                  queue_capacity: int = 64, wave: int = 4,
-                 admin_key: Optional[str] = None) -> None:
+                 admin_key: Optional[str] = None,
+                 obs: Optional[Observability] = None) -> None:
         self.service = service
         self.registry = registry
         self.ledger = QuotaLedger()
+        self.obs = obs if obs is not None \
+            else getattr(service, "obs", None) or Observability.default()
         self.scheduler = WeightedFairScheduler(
-            self._dispatch, capacity=queue_capacity, wave=wave
+            self._dispatch, capacity=queue_capacity, wave=wave,
+            events=self.obs.events,
         )
         self.admin_key = admin_key
+        self.obs.registry.register_collector(
+            self._gateway_samples, key=("gateway", id(self))
+        )
 
     # ------------------------------------------------------------------ #
     # request entry point
@@ -137,6 +149,21 @@ class Gateway:
                             f"{method} not supported on {path!r}")
         if parts[1:] == ["status"] and method == "GET":
             return self._status(headers)
+        if parts[1:] == ["metrics"] and method == "GET":
+            self._require_admin(headers)
+            return 200, {
+                "Content-Type": "text/plain; version=0.0.4; charset=utf-8",
+            }, self.obs.registry.render()
+        if parts[1:2] == ["traces"] and method == "GET":
+            self._require_admin(headers)
+            if len(parts) == 2:
+                return 200, {}, {"traces": self.obs.tracer.summaries()}
+            if len(parts) == 3:
+                chrome = self.obs.tracer.to_chrome(parts[2])
+                if chrome is None:
+                    raise WireError(404, "not_found",
+                                    f"no completed trace {parts[2]!r}")
+                return 200, {}, chrome
         if parts[1:] == ["drain"] and method == "POST":
             self._require_admin(headers)
             await self.scheduler.drain()
@@ -175,6 +202,11 @@ class Gateway:
             if exc.code == "quota_exceeded":
                 tenant.counters.increment("rejected_quota")
             raise
+        # the gateway owns the trace for wire submissions: the service
+        # sees a non-None context and only adds child spans to it
+        ctx = self.obs.tracer.start_trace(
+            "request", program=wire_name, tenant=tenant.tenant_id, lane=lane)
+        request.trace = ctx
         try:
             future = self.scheduler.enqueue(lane, tenant, request,
                                             deadline=deadline)
@@ -182,25 +214,40 @@ class Gateway:
             self.ledger.release_reservation(tenant)
             if exc.code == "backpressure":
                 tenant.counters.increment("rejected_backpressure")
+            self.obs.tracer.finish(ctx, status=exc.code)
             raise
         tenant.counters.increment("submitted")
         try:
-            return await future
+            response = await future
         except WireError as exc:
             # shed / closed tickets never reached _dispatch, so their
             # reservation is still open; everything _dispatch ran settles
             # its own reservation before raising
             if exc.code in ("shed", "closed"):
                 self.ledger.release_reservation(tenant)
+            self.obs.tracer.finish(ctx, status=exc.code)
             raise
+        except Exception:
+            self.obs.tracer.finish(ctx, status="error")
+            raise
+        self.obs.tracer.finish(ctx, status="ok")
+        return response
 
     async def _dispatch(self, ticket: AdmissionTicket) -> Response:
         """Scheduler callback: run one admitted submission to completion."""
         tenant = ticket.tenant
+        waited = time.monotonic() - ticket.enqueued_at
+        ctx = getattr(ticket.request, "trace", None)
+        if ctx is not None:
+            self.obs.tracer.emit(ctx, "gateway.queue", waited,
+                                 lane=ticket.lane, tenant=tenant.tenant_id)
         if ticket.deadline is not None and time.monotonic() > ticket.deadline:
             # expired while queued at the gateway: don't spend service time
             self.ledger.release_reservation(tenant)
             tenant.counters.increment("deadline_expired")
+            self.obs.events.emit(
+                "deadline_expired", where="gateway-queue", lane=ticket.lane,
+                tenant=tenant.tenant_id)
             raise WireError(504, "deadline_expired",
                             "the submission's deadline passed while it was"
                             " queued at the gateway")
@@ -273,6 +320,31 @@ class Gateway:
             "usage": self.ledger.usage_summary(tenant),
             "queue_depths": self.scheduler.queue_depths(),
         }
+
+    def _gateway_samples(self):
+        """Render-time collector: tenant counters + per-lane queue state.
+
+        Reads the same live objects ``/v1/status`` and
+        :meth:`gateway_summary` read, so the Prometheus view can never
+        drift from the JSON views.
+        """
+        samples = []
+        for tenant in self.registry.tenants():
+            for name, value in sorted(tenant.counters.counters().items()):
+                samples.append(Sample(
+                    f"clickinc_tenant_{name}_total",
+                    {"tenant": tenant.tenant_id}, value, "counter",
+                    "Per-tenant gateway outcome counters"))
+        for key, lane in sorted(self.scheduler._lanes.items()):
+            samples.append(Sample(
+                "clickinc_gateway_lane_depth", {"lane": key},
+                float(lane.queued), "gauge",
+                "Submissions queued in this admission lane"))
+            samples.append(Sample(
+                "clickinc_gateway_lane_service_seconds", {"lane": key},
+                lane.service_ewma_s, "gauge",
+                "EWMA seconds per served submission (Retry-After basis)"))
+        return samples
 
     def gateway_summary(self) -> Dict[str, object]:
         """Operator view: every tenant's counters plus the service summary."""
@@ -376,13 +448,21 @@ class GatewayHTTPServer:
     }
 
     async def _write(self, writer: "asyncio.StreamWriter", status: int,
-                     extra: Dict[str, str], payload: Dict[str, object],
+                     extra: Dict[str, str], payload,
                      keep_alive: bool = False) -> None:
-        body = json.dumps(payload).encode("utf-8")
+        extra = dict(extra)
+        if isinstance(payload, str):
+            # the metrics endpoint serves Prometheus text, not JSON
+            body = payload.encode("utf-8")
+            content_type = extra.pop("Content-Type",
+                                     "text/plain; charset=utf-8")
+        else:
+            body = json.dumps(payload).encode("utf-8")
+            content_type = "application/json"
         reason = self._STATUS_TEXT.get(status, "Unknown")
         headers = [
             f"HTTP/1.1 {status} {reason}",
-            "Content-Type: application/json",
+            f"Content-Type: {content_type}",
             f"Content-Length: {len(body)}",
             f"Connection: {'keep-alive' if keep_alive else 'close'}",
         ]

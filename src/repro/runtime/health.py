@@ -25,6 +25,7 @@ from collections import deque
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.emulator.metrics import RunMetrics
+from repro.obs.metrics import Sample
 from repro.runtime.events import (
     DEVICE_DOWN,
     DEVICE_DRAIN,
@@ -73,6 +74,7 @@ class HealthMonitor:
         #: live in the incremental counters behind :meth:`event_counts`
         self.events: "deque[TopologyEvent]" = deque(maxlen=256)
         self._event_counts: Dict[str, int] = {}
+        self._obs = None
         self.refresh()
 
     # ------------------------------------------------------------------ #
@@ -92,6 +94,12 @@ class HealthMonitor:
         self._event_counts[event.kind] = (
             self._event_counts.get(event.kind, 0) + 1
         )
+        if self._obs is not None:
+            self._obs.events.emit(
+                "topology_event", kind=event.kind, device=event.device,
+                link=list(event.link) if event.link else None,
+                epoch=event.epoch,
+            )
         for callback in list(self._subscribers):
             callback(event)
         return event
@@ -195,6 +203,30 @@ class HealthMonitor:
     def event_counts(self) -> Dict[str, int]:
         """Lifetime event totals per kind (not bounded by the event ring)."""
         return dict(self._event_counts)
+
+    def bind_metrics(self, obs) -> None:
+        """Expose this monitor on an :class:`~repro.obs.Observability` hub.
+
+        Registers a render-time collector (lifetime event counts per kind
+        plus an unavailable-device gauge) and mirrors every emitted
+        :class:`TopologyEvent` into the hub's structured event log.
+        Idempotent per (monitor, registry) pair.
+        """
+        self._obs = obs
+
+        def _samples():
+            samples = [
+                Sample("clickinc_health_events_total", {"kind": kind}, count,
+                       "counter", "Lifetime topology events per kind")
+                for kind, count in sorted(self._event_counts.items())
+            ]
+            samples.append(Sample(
+                "clickinc_unavailable_devices",
+                {}, float(len(self.topology.unavailable_devices())),
+                "gauge", "Devices currently failed or drained"))
+            return samples
+
+        obs.registry.register_collector(_samples, key=("health", id(self)))
 
     def last_event(self, kind: Optional[str] = None) -> Optional[TopologyEvent]:
         for event in reversed(self.events):

@@ -38,6 +38,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.core.pipeline import DeployRequest
+from repro.obs import Observability
 from repro.core.stats import CounterMixin
 from repro.exceptions import DeploymentError
 from repro.runtime.events import (
@@ -100,16 +101,6 @@ class RuntimeStats(CounterMixin):
     failed_updates: int = 0
     overload_events: int = 0
 
-    def summary(self) -> Dict[str, int]:
-        return {
-            "migrations": self.migrations,
-            "migrated_programs": self.migrated_programs,
-            "rollbacks": self.rollbacks,
-            "updates": self.updates,
-            "failed_updates": self.failed_updates,
-            "overload_events": self.overload_events,
-        }
-
 
 class RuntimeManager:
     """Keeps a controller's deployments running as the network changes.
@@ -129,11 +120,20 @@ class RuntimeManager:
     """
 
     def __init__(self, controller, monitor: Optional[HealthMonitor] = None,
-                 auto_migrate: bool = True) -> None:
+                 auto_migrate: bool = True,
+                 obs: Optional[Observability] = None) -> None:
         self.controller = controller
         self.monitor = monitor or HealthMonitor(controller.topology)
         self.auto_migrate = auto_migrate
         self.stats = RuntimeStats()
+        self.obs = obs if obs is not None \
+            else getattr(controller, "obs", None) or Observability.default()
+        self.obs.registry.register_counters("clickinc_runtime", self.stats)
+        self._recovery_hist = self.obs.registry.histogram(
+            "clickinc_migration_recovery_seconds",
+            "Wall-clock seconds per migration wave (trigger to recovery)",
+        )
+        self.monitor.bind_metrics(self.obs)
         #: recent migration reports; bounded — an always-on service handles
         #: an unbounded number of events, aggregates live in ``stats``
         self.migration_log: "deque[MigrationReport]" = deque(maxlen=64)
@@ -398,6 +398,12 @@ class RuntimeManager:
 
     def _log(self, report: MigrationReport) -> None:
         self.migration_log.append(report)
+        self._recovery_hist.observe(report.duration_s)
+        self.obs.events.emit(
+            "migration", trigger=report.trigger, subject=report.subject,
+            migrated=list(report.migrated), rolled_back=report.rolled_back,
+            error=report.error, duration_s=round(report.duration_s, 6),
+        )
 
     # ------------------------------------------------------------------ #
     # observability

@@ -135,8 +135,8 @@ class ShardCoordinator:
 
     def __init__(self, topology: NetworkTopology,
                  partition: Optional[PartitionMap] = None, *,
-                 shard_workers: int = 1, memo=None,
-                 memo_path: Optional[str] = None,
+                 shard_workers: int = 1, cross_workers: int = 0,
+                 memo=None, memo_path: Optional[str] = None,
                  **controller_kwargs) -> None:
         from repro.placement.memo import SharedPlacementMemo
 
@@ -166,6 +166,26 @@ class ShardCoordinator:
         # coordinator's per-shard breakdown — incremented exactly once
         for shard_id, shard in self.shards.items():
             self.stats.per_shard[shard_id] = shard.stats
+        #: cross-shard speculative compiles run on the inter pipeline's
+        #: worker pool when > 1 (0/1 keeps the historical inline path);
+        #: worker-side trace spans then stitch across the process boundary
+        #: even for 2PC deployments
+        self.cross_workers = max(0, int(cross_workers))
+        # compile_batch on the shared inter pipeline is not reentrant; the
+        # lock serialises only the speculative phase of concurrent
+        # cross-shard deploys (lock-free phase 1 work, never held together
+        # with the inter/shard commit locks)
+        self._cross_compile_lock = threading.Lock()
+        self.obs = self.inter.obs
+        registry = self.obs.registry
+        registry.register_counters("clickinc_service", self.stats)
+        for shard_id, shard in self.shards.items():
+            registry.register_counters("clickinc_shard", shard.stats,
+                                       labels={"shard": shard_id})
+        self._2pc_hist = registry.histogram(
+            "clickinc_2pc_phase_seconds",
+            "Seconds per cross-shard two-phase-commit phase",
+            ("phase",))
         #: program name -> owning shard id, or :data:`CROSS_SHARD`
         self._owner: Dict[str, str] = {}
         self._registry_lock = threading.Lock()
@@ -418,39 +438,59 @@ class ShardCoordinator:
         """Speculative place → per-shard prepare → atomic commit wave."""
         started = time.perf_counter()
         pipeline = self.inter.pipeline
+        tracer = self.obs.tracer
+        ctx = request.trace
         report = PipelineReport(program_name=request.resolved_name())
 
         # phase 1 (no locks): pure compile + commit-free placement against
-        # an epoch-tagged snapshot of every touched shard's allocations
-        try:
-            program, records = pipeline.compile_stages(request)
-        except Exception as exc:
-            result = SpeculativeResult(
-                index=0, error=str(exc),
-                failed_stage=getattr(exc, "pipeline_stage", "frontend"),
-                via="cross-shard",
-            )
-        else:
-            result = SpeculativeResult(index=0, program=program,
-                                       records=records, via="cross-shard")
-            # the epoch snapshot is taken BEFORE the search: the search
-            # reads the live shared topology lock-free, so only an epoch
-            # unchanged across the whole search window proves no touched
-            # shard committed mid-search (post-search fingerprints alone
-            # could match live values the search never saw)
+        # an epoch-tagged snapshot of every touched shard's allocations.
+        # The epoch snapshot is taken BEFORE the search: the search reads
+        # the live shared topology lock-free, so only an epoch unchanged
+        # across the whole search window proves no touched shard committed
+        # mid-search (post-search fingerprints alone could match live
+        # values the search never saw).  A snapshot taken before the pool
+        # dispatch is conservative the same way: any mid-search commit
+        # moves an epoch and turns into a prepare abort + serial re-place.
+        spec_start = time.perf_counter()
+        if self.cross_workers > 1:
             shard_epochs = {shard_id: self.shards[shard_id].allocation_epoch()
                             for shard_id in touched}
+            with self._cross_compile_lock:
+                service = pipeline.parallel_service(self.cross_workers)
+                result = service.compile_batch([request])[0]
+            result.via = "cross-shard"
+            if result.plan is not None:
+                result.plan.shard_epochs = shard_epochs
+        else:
             try:
-                plan = self.inter.placer.place(
-                    pipeline.placement_request(program, request)
-                )
+                program, records = pipeline.compile_stages(request)
             except Exception as exc:
-                # advisory: the commit wave re-places under the locks
-                result.error = str(exc)
-                result.failed_stage = "placement"
+                result = SpeculativeResult(
+                    index=0, error=str(exc),
+                    failed_stage=getattr(exc, "pipeline_stage", "frontend"),
+                    via="cross-shard",
+                )
             else:
-                plan.shard_epochs = shard_epochs
-                result.plan = plan
+                result = SpeculativeResult(index=0, program=program,
+                                           records=records, via="cross-shard")
+                shard_epochs = {shard_id:
+                                self.shards[shard_id].allocation_epoch()
+                                for shard_id in touched}
+                try:
+                    plan = self.inter.placer.place(
+                        pipeline.placement_request(program, request)
+                    )
+                except Exception as exc:
+                    # advisory: the commit wave re-places under the locks
+                    result.error = str(exc)
+                    result.failed_stage = "placement"
+                else:
+                    plan.shard_epochs = shard_epochs
+                    result.plan = plan
+        spec_s = time.perf_counter() - spec_start
+        self._2pc_hist.labels("speculative").observe(spec_s)
+        tracer.emit(ctx, "2pc.speculative", spec_s,
+                    shards=list(touched), pooled=self.cross_workers > 1)
 
         if self._pre_prepare_hook is not None:
             self._pre_prepare_hook()
@@ -459,6 +499,9 @@ class ShardCoordinator:
         # not take the touched shards' locks just to commit late
         if deadline is not None and time.monotonic() > deadline:
             self.stats.increment("deadline_aborts")
+            self.obs.events.emit("deadline_abort", where="pre-prepare",
+                                 program=report.program_name,
+                                 shards=list(touched))
             return deadline_report(
                 report.program_name,
                 "the submission's deadline passed before the cross-shard "
@@ -471,7 +514,13 @@ class ShardCoordinator:
         # committing throughout.
         with self._inter_lock, self._locks(touched):
             if result.plan is not None:
+                prepare_start = time.perf_counter()
                 conflicts = self._prepare(result.plan, touched)
+                prepare_s = time.perf_counter() - prepare_start
+                self._2pc_hist.labels("prepare").observe(prepare_s)
+                tracer.emit(ctx, "2pc.prepare", prepare_s,
+                            shards=list(touched),
+                            conflicts=sorted(conflicts))
                 if conflicts:
                     # abort the speculative plan.  Nothing has been
                     # committed anywhere, so the abort leaves every shard's
@@ -481,6 +530,10 @@ class ShardCoordinator:
                     self.stats.increment("aborted_prepares")
                     for shard_id in conflicts:
                         self.shards[shard_id].stats.increment("aborted_prepares")
+                    self.obs.events.emit(
+                        "aborted_prepare", program=report.program_name,
+                        conflicts={shard: list(devs)
+                                   for shard, devs in conflicts.items()})
                     result.plan = None
             if self._post_prepare_hook is not None:
                 self._post_prepare_hook()
@@ -491,15 +544,23 @@ class ShardCoordinator:
                 # conflict abort — the locks release with every shard's
                 # allocation state and plan cache byte-identical.
                 self.stats.increment("deadline_aborts")
+                self.obs.events.emit("deadline_abort", where="post-prepare",
+                                     program=report.program_name,
+                                     shards=list(touched))
                 return deadline_report(
                     report.program_name,
                     "the submission's deadline passed between the prepare "
                     "vote and the commit wave; the two-phase commit was "
                     "aborted (nothing was committed)",
                 )
+            commit_start = time.perf_counter()
             report = pipeline.commit_speculative_result(
                 request, result, report, started
             )
+            commit_s = time.perf_counter() - commit_start
+            self._2pc_hist.labels("commit").observe(commit_s)
+            tracer.emit(ctx, "2pc.commit", commit_s,
+                        shards=list(touched), succeeded=report.succeeded)
             if report.succeeded:
                 self.inter.deployed[report.program_name] = report.deployed
                 self.stats.increment("cross_shard_commits")
