@@ -54,6 +54,18 @@ non-zero when
 * the live side stops producing complete traces or a non-empty
   Prometheus exposition (an accidentally-inert hub must not "pass").
 
+``--suite dataplane`` runs the vectorized data-plane benchmark
+(:mod:`benchmarks.bench_dataplane`) and fails when
+
+* any workload's batch/scalar throughput speedup falls below
+  ``min_dataplane_speedup`` (vectorization silently degraded to ~1x),
+* any workload's batch run stops being bit-identical to the scalar
+  interpreter (per-packet state, device state or run metrics diverge),
+* a supported-opcode workload triggers kernel bails or scalar fallback
+  rows (the compiler stopped covering the paper workloads), or
+* the sustained mixed-tenant :class:`TrafficEngine` round rate falls
+  below ``min_engine_pps``.
+
 ``--suite gateway`` runs the multi-tenant gateway QoS benchmark
 (:mod:`benchmarks.bench_gateway_qos`) and fails when
 
@@ -105,6 +117,9 @@ from benchmarks.bench_gateway_qos import (  # noqa: E402
 )
 from benchmarks.bench_obs_overhead import (  # noqa: E402
     run_all as run_obs_overhead,
+)
+from benchmarks.bench_dataplane import (  # noqa: E402
+    run_all as run_dataplane,
 )
 from benchmarks.bench_sharded_scaling import (  # noqa: E402
     MIN_CORES as SHARDED_MIN_CORES,
@@ -250,6 +265,67 @@ def measure_obs() -> dict:
             overhead["stage_histogram_present"]
         ),
     }
+
+
+def measure_dataplane() -> dict:
+    results = run_dataplane()
+    measured = {"generated_unix_time": int(time.time())}
+    for kind, w in results["workloads"].items():
+        measured[f"dataplane_{kind}_packets"] = w["packets"]
+        measured[f"dataplane_{kind}_scalar_pps"] = round(w["scalar_pps"], 1)
+        measured[f"dataplane_{kind}_batch_pps"] = round(w["batch_pps"], 1)
+        measured[f"dataplane_{kind}_speedup"] = round(w["speedup"], 3)
+        measured[f"dataplane_{kind}_identical"] = bool(w["identical"])
+        measured[f"dataplane_{kind}_kernel_bails"] = w["kernel_bails"]
+        measured[f"dataplane_{kind}_fallback_rows"] = w["packets_fallback"]
+    aggregate = results["aggregate"]
+    engine = results["engine"]
+    measured.update({
+        "dataplane_min_speedup": round(aggregate["min_speedup"], 3),
+        "dataplane_geomean_speedup": round(aggregate["geomean_speedup"], 3),
+        "engine_rounds": engine["rounds"],
+        "engine_round_packets": engine["round_packets"],
+        "engine_pps": round(engine["pps"], 1),
+        "engine_ips": round(engine["ips"], 1),
+    })
+    return measured
+
+
+def check_dataplane(measured: dict, baseline: dict) -> list:
+    failures = []
+    min_speedup = float(baseline.get("min_dataplane_speedup", 3.0))
+    for kind in ("kvs", "mlagg", "dqacc"):
+        speedup = measured[f"dataplane_{kind}_speedup"]
+        if speedup < min_speedup:
+            failures.append(
+                f"the batch engine is only {speedup:.2f}x faster than the"
+                f" scalar interpreter on the {kind} workload (needs"
+                f" >= {min_speedup:.1f}x:"
+                f" scalar {measured[f'dataplane_{kind}_scalar_pps']:.0f} pps,"
+                f" batch {measured[f'dataplane_{kind}_batch_pps']:.0f} pps)"
+            )
+        if not measured[f"dataplane_{kind}_identical"]:
+            failures.append(
+                f"the batch engine diverged from the scalar interpreter on"
+                f" the {kind} workload — per-packet state, device state or"
+                " run metrics are no longer bit-identical"
+            )
+        bails = measured[f"dataplane_{kind}_kernel_bails"]
+        fallback = measured[f"dataplane_{kind}_fallback_rows"]
+        if bails or fallback:
+            failures.append(
+                f"the {kind} workload hit {bails} kernel bails and"
+                f" {fallback} scalar-fallback rows — the kernel compiler no"
+                " longer covers the paper workloads"
+            )
+    min_pps = float(baseline.get("min_engine_pps", 5000.0))
+    if measured["engine_pps"] < min_pps:
+        failures.append(
+            f"the sustained traffic engine pushed only"
+            f" {measured['engine_pps']:.0f} packets/s through the mixed"
+            f" tenant rounds (needs >= {min_pps:.0f})"
+        )
+    return failures
 
 
 def check_obs(measured: dict, baseline: dict) -> list:
@@ -531,11 +607,11 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--suite",
-        choices=("pipeline", "scaling", "gateway", "obs"),
+        choices=("pipeline", "scaling", "gateway", "obs", "dataplane"),
         default="pipeline",
         help="pipeline: deploy/service/migration/sharding; scaling:"
              " fabric-scale; gateway: multi-tenant QoS; obs: telemetry"
-             " overhead",
+             " overhead; dataplane: vectorized batch kernels",
     )
     parser.add_argument(
         "--full-workload",
@@ -550,6 +626,8 @@ def main(argv=None) -> int:
         measured = measure_gateway()
     elif args.suite == "obs":
         measured = measure_obs()
+    elif args.suite == "dataplane":
+        measured = measure_dataplane()
     else:
         measured = measure()
     output = args.output or f"BENCH_{args.suite}.json"
@@ -564,6 +642,8 @@ def main(argv=None) -> int:
         failures = check_gateway(measured, baseline)
     elif args.suite == "obs":
         failures = check_obs(measured, baseline)
+    elif args.suite == "dataplane":
+        failures = check_dataplane(measured, baseline)
     else:
         failures = check(measured, baseline)
     if failures:

@@ -15,7 +15,14 @@ from __future__ import annotations
 from dataclasses import dataclass, fields, is_dataclass
 from typing import Dict
 
-__all__ = ["CounterMixin", "MemoCounters", "ShardCounters", "TenantCounters"]
+__all__ = [
+    "CounterMixin",
+    "DataplaneStats",
+    "EngineCounters",
+    "MemoCounters",
+    "ShardCounters",
+    "TenantCounters",
+]
 
 
 class CounterMixin:
@@ -122,6 +129,49 @@ class MemoCounters(CounterMixin):
     #: memo-served sub-tree tables rejected by the DPPlacer's live
     #: allocation-state guard (should stay 0; see StaleMemoError)
     stale_rejections: int = 0
+
+
+
+@dataclass
+class DataplaneStats(CounterMixin):
+    """Activity of the vectorized batch data plane, one bag per emulator.
+
+    Maintained by :class:`~repro.emulator.engine.BatchRunner` (and the
+    compiled kernels it calls); surfaced through
+    ``TrafficEngine.bind_metrics`` as the ``clickinc_dataplane_*`` counter
+    family.  The vectorized/fallback split is the first thing to read when
+    throughput disappoints: fallback rows mean an owner group demoted to
+    the scalar interpreter (heterogeneous batch, unsupported opcode, or a
+    runtime bail — see ``kernel_bails``).
+    """
+
+    #: run_batch invocations
+    batches: int = 0
+    #: owner groups that attempted the vector path
+    owner_groups: int = 0
+    #: rows routed through compiled kernels end-to-end
+    packets_vectorized: int = 0
+    #: rows demoted to the scalar interpreter
+    packets_fallback: int = 0
+    #: kernel executions (one per device visit per owner group)
+    kernel_calls: int = 0
+    #: owner groups demoted after a compile/plan/runtime bail
+    kernel_bails: int = 0
+    #: conflict-free row slices executed across all kernel calls
+    slices: int = 0
+
+
+
+@dataclass
+class EngineCounters(CounterMixin):
+    """Lifetime totals of one :class:`~repro.emulator.engine.TrafficEngine`."""
+
+    #: timed batch rounds emitted
+    rounds: int = 0
+    #: packets sent across all rounds
+    packets: int = 0
+    #: instructions executed across all rounds (from the run metrics)
+    instructions: int = 0
 
 
 

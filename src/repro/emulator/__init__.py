@@ -17,6 +17,13 @@ from repro.emulator.traffic import (
     DQAccWorkload,
     zipf_keys,
 )
+from repro.emulator.engine import BatchRunner, TrafficEngine
+from repro.emulator.kernels import (
+    DEFAULT_KERNEL_CACHE,
+    CompiledKernel,
+    KernelCache,
+    snippet_digest,
+)
 from repro.emulator.metrics import RunMetrics
 
 __all__ = [
@@ -30,5 +37,11 @@ __all__ = [
     "MLAggWorkload",
     "DQAccWorkload",
     "zipf_keys",
+    "BatchRunner",
+    "TrafficEngine",
+    "DEFAULT_KERNEL_CACHE",
+    "CompiledKernel",
+    "KernelCache",
+    "snippet_digest",
     "RunMetrics",
 ]

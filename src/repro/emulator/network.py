@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Sequence
 
+from repro.core.stats import DataplaneStats
 from repro.emulator.interpreter import DeviceRuntime, ExecutionResult
 from repro.emulator.metrics import RunMetrics
 from repro.emulator.packet import Packet
@@ -46,6 +47,12 @@ class NetworkEmulator:
         #: :class:`~repro.runtime.health.HealthMonitor` uses to surface
         #: per-device overload without the emulator knowing about it.
         self.observers: List = []
+        #: Vectorized data-plane activity (:meth:`run_batch`); exposed on
+        #: ``/v1/metrics`` via ``TrafficEngine.bind_metrics``.
+        self.dataplane_stats = DataplaneStats()
+        #: Per-owner breakdown of the last :meth:`run_batch`
+        #: (:class:`~repro.emulator.engine.BatchReport`), for rate counters.
+        self.last_batch = None
 
     def add_observer(self, callback) -> None:
         """Register a callable invoked with each :meth:`run`'s metrics."""
@@ -116,6 +123,28 @@ class NetworkEmulator:
         metrics = RunMetrics()
         for packet in packets:
             self._route_packet(packet, metrics, link_latency_ns, end_host_latency_ns)
+        for observer in list(self.observers):
+            observer(metrics)
+        return metrics
+
+    def run_batch(self, packets: Sequence[Packet],
+                  link_latency_ns: float = 1000.0,
+                  end_host_latency_ns: float = 5000.0) -> RunMetrics:
+        """Vectorized :meth:`run`: same packets, same metrics, batched.
+
+        Routes the batch through the compiled kernels of
+        :mod:`repro.emulator.kernels` via a
+        :class:`~repro.emulator.engine.BatchRunner`.  The result is
+        bit-identical to :meth:`run` — final device state, per-packet
+        outcomes and the returned metrics all match the scalar interpreter
+        (``tests/test_dataplane_differential.py`` is the proof); owner
+        groups the vectorizer cannot handle fall back to the scalar path
+        transparently.  Observers fire exactly as in :meth:`run`.
+        """
+        from repro.emulator.engine import BatchRunner
+
+        runner = BatchRunner(self)
+        metrics = runner.run(packets, link_latency_ns, end_host_latency_ns)
         for observer in list(self.observers):
             observer(metrics)
         return metrics

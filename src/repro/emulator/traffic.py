@@ -4,6 +4,17 @@ The generators produce deterministic (seeded) packet streams matching the
 workloads of the paper's evaluation: skewed key-value queries for KVS,
 per-worker gradient packets for MLAgg (optionally sparse), and value streams
 with duplicates for the SQL DISTINCT accelerator.
+
+Streams are **resumable**: every workload instance owns its generator state,
+so drawing packets in several calls yields exactly the stream one big call
+would produce — ``w.packets(n); w.packets(n)`` equals ``w.packets(2 * n)``
+from a fresh instance with the same seed.  That property is what lets the
+sustained :class:`~repro.emulator.engine.TrafficEngine` emit traffic in timed
+rounds without replaying (or diverging from) the single-shot streams the
+functional tests use.  Each random purpose (key choice, read/write choice,
+value payload) draws from its own seeded substream, so how many packets one
+purpose consumed never shifts another purpose's sequence.  ``reset()``
+rewinds a workload to the start of its stream.
 """
 
 from __future__ import annotations
@@ -16,19 +27,34 @@ import numpy as np
 from repro.emulator.packet import Packet
 
 
+def _zipf_cumulative(num_keys: int, skew: float) -> np.ndarray:
+    """Cumulative probabilities of a truncated Zipf over ``num_keys`` keys."""
+    ranks = np.arange(1, num_keys + 1, dtype=float)
+    weights = ranks ** (-skew)
+    weights /= weights.sum()
+    return np.cumsum(weights)
+
+
+def _substream(seed: int, purpose: int) -> np.random.Generator:
+    """An independent RNG substream for one (seed, purpose) pair."""
+    return np.random.default_rng([int(seed), int(purpose)])
+
+
 def zipf_keys(num_keys: int, count: int, skew: float = 1.2,
               seed: int = 7) -> List[int]:
     """Draw *count* keys from a Zipf-like distribution over ``num_keys`` keys.
 
     A truncated Zipf is used (probabilities computed explicitly) so the key
     space is bounded, matching skewed KVS workloads such as those NetCache
-    targets.
+    targets.  The draw is an inverse-CDF lookup of uniform variates, which
+    consumes exactly one variate per key — the property the resumable
+    workload streams rely on.
     """
     rng = np.random.default_rng(seed)
-    ranks = np.arange(1, num_keys + 1, dtype=float)
-    weights = ranks ** (-skew)
-    weights /= weights.sum()
-    return [int(k) for k in rng.choice(num_keys, size=count, p=weights)]
+    cumulative = _zipf_cumulative(num_keys, skew)
+    uniform = rng.random(count)
+    keys = np.searchsorted(cumulative, uniform, side="right")
+    return [int(k) for k in np.minimum(keys, num_keys - 1)]
 
 
 @dataclass
@@ -43,21 +69,39 @@ class KVSWorkload:
     owner: str = "kvs_0"
     seed: int = 11
 
+    def __post_init__(self) -> None:
+        self._cumulative = _zipf_cumulative(self.num_keys, self.skew)
+        self.reset()
+
+    def reset(self) -> None:
+        """Rewind the stream to its beginning."""
+        # one substream per purpose: interleaving reads and writes must not
+        # shift the key sequence (the historic double-seeding bug created a
+        # fresh rng and then drew keys from a second, separately seeded one)
+        self._key_rng = _substream(self.seed, 0)
+        self._op_rng = _substream(self.seed, 1)
+        self._val_rng = _substream(self.seed, 2)
+
     def packets(self, count: int) -> List[Packet]:
-        rng = np.random.default_rng(self.seed)
-        keys = zipf_keys(self.num_keys, count, self.skew, seed=self.seed)
+        uniform = self._key_rng.random(count)
+        keys = np.minimum(
+            np.searchsorted(self._cumulative, uniform, side="right"),
+            self.num_keys - 1,
+        )
+        is_read = self._op_rng.random(count) < self.read_ratio
+        writes = int(count - is_read.sum())
+        write_values = iter(self._val_rng.integers(0, 2 ** 31, size=writes))
         packets = []
-        for key in keys:
-            is_read = rng.random() < self.read_ratio
+        for key, read in zip(keys, is_read):
             packet = Packet(
                 src_group=self.src_group,
                 dst_group=self.dst_group,
                 app="KVS",
                 owner=self.owner,
                 fields={
-                    "op": 1 if is_read else 3,   # REQUEST / UPDATE
+                    "op": 1 if read else 3,   # REQUEST / UPDATE
                     "key": int(key),
-                    "vals": [int(rng.integers(0, 2**31))] if not is_read else [0],
+                    "vals": [0] if read else [int(next(write_values))],
                 },
                 payload_bytes=64,
             )
@@ -83,6 +127,12 @@ class MLAggWorkload:
     owner: str = "mlagg_0"
     seed: int = 13
     value_scale: int = 1000
+
+    def __post_init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        self._next_seq = 0
 
     def round_packets(self, seq: int) -> List[Packet]:
         rng = np.random.default_rng(self.seed + seq)
@@ -116,8 +166,9 @@ class MLAggWorkload:
 
     def packets(self, rounds: int) -> List[Packet]:
         all_packets: List[Packet] = []
-        for seq in range(rounds):
+        for seq in range(self._next_seq, self._next_seq + rounds):
             all_packets.extend(self.round_packets(seq))
+        self._next_seq += rounds
         return all_packets
 
     def expected_sum(self, seq: int) -> List[int]:
@@ -140,13 +191,20 @@ class DQAccWorkload:
     owner: str = "dqacc_0"
     seed: int = 17
 
+    def __post_init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        self._rng = _substream(self.seed, 0)
+        self._seen: List[int] = []
+
     def packets(self, count: int) -> List[Packet]:
-        rng = np.random.default_rng(self.seed)
-        seen: List[int] = []
+        rng = self._rng
+        seen = self._seen
         packets = []
         for _ in range(count):
             if seen and rng.random() < self.duplicate_ratio:
-                value = int(rng.choice(seen))
+                value = int(seen[int(rng.integers(0, len(seen)))])
             else:
                 value = int(rng.integers(0, self.num_distinct))
                 seen.append(value)

@@ -70,6 +70,10 @@ class NetworkTopology:
         self.bypass: Dict[str, str] = {}   # switch name -> attached accelerator name
         self._fingerprint_cache: tuple = (-1, "")
         self._forwarding_cache: tuple = (-1, None)
+        # (src_group, dst_group, max_paths) -> path list, valid for one
+        # forwarding epoch; routing consults this once per emulated packet
+        self._paths_cache_epoch: tuple = (-1,)
+        self._paths_cache: dict = {}
         # shard-view bookkeeping: views share Device/Link objects with the
         # root topology, but each instance owns its graph structure, so
         # structural removals must propagate (see remove_link / subview)
@@ -260,6 +264,17 @@ class NetworkTopology:
                 )
         if src_tor == dst_tor:
             return [[src_tor]]
+        # memoised per forwarding epoch: routing asks once per emulated
+        # packet, and shortest-path enumeration dominates packet cost
+        epoch = (self.allocation_epoch(), self.graph.number_of_nodes(),
+                 self.graph.number_of_edges())
+        if self._paths_cache_epoch != epoch:
+            self._paths_cache_epoch = epoch
+            self._paths_cache = {}
+        key = (src_group, dst_group, max_paths)
+        cached = self._paths_cache.get(key)
+        if cached is not None:
+            return list(cached)
         forwarding = self._forwarding_graph()
         try:
             paths = list(
@@ -269,7 +284,9 @@ class NetworkTopology:
             raise TopologyError(
                 f"no path between {src_group!r} and {dst_group!r}"
             ) from exc
-        return paths[:max_paths]
+        paths = paths[:max_paths]
+        self._paths_cache[key] = paths
+        return list(paths)
 
     def _forwarding_graph(self) -> "nx.Graph":
         """The live forwarding graph: no accelerators, no down devices/links.

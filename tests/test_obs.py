@@ -324,6 +324,46 @@ class TestGatewayObservability:
 
 
 # ---------------------------------------------------------------------- #
+# data-plane engine telemetry
+# ---------------------------------------------------------------------- #
+class TestDataplaneTelemetry:
+    def test_engine_counters_and_gauges_reach_the_registry(self):
+        from repro.emulator.engine import TrafficEngine
+        from repro.emulator.traffic import KVSWorkload
+
+        obs = Observability()
+        controller = ClickINC(build_fattree(k=4), generate_code=False)
+        profile = default_profile("KVS", user="kvs_dp")
+        controller.deploy_profile(profile, ["pod0(a)"], "pod0(b)",
+                                  name="kvs_dp")
+        engine = TrafficEngine(controller.emulator)
+        engine.bind_metrics(obs)
+        engine.add_source(
+            "kvs_dp",
+            KVSWorkload("pod0(a)", "pod0(b)", num_keys=100, owner="kvs_dp"),
+            units_per_round=50)
+        engine.run(rounds=2)
+        text = obs.registry.render()
+        TestMetricsRegistry.assert_prometheus_text(text)
+        # engine round counters
+        assert "clickinc_traffic_engine_rounds_total 2" in text
+        assert "clickinc_traffic_engine_packets_total 100" in text
+        # data-plane counter bag reads the live emulator stats
+        assert re.search(
+            r"clickinc_dataplane_packets_vectorized_total [1-9]", text)
+        assert re.search(r"clickinc_dataplane_kernel_calls_total [1-9]", text)
+        # last-round rate gauges, overall + labelled breakdowns
+        assert re.search(r"clickinc_dataplane_pps [0-9.eE+]+", text)
+        assert re.search(r"clickinc_dataplane_ips [0-9.eE+]+", text)
+        assert 'clickinc_dataplane_device_pps{device="' in text
+        assert 'clickinc_dataplane_program_pps{program="kvs_dp"}' in text
+        # batch-size + kernel-compile histograms
+        assert "clickinc_dataplane_batch_size_count 2" in text
+        assert 'clickinc_dataplane_batch_size_bucket{le="64"} 2' in text
+        assert "clickinc_dataplane_kernel_compile_seconds_count" in text
+
+
+# ---------------------------------------------------------------------- #
 # profiling shim + hub
 # ---------------------------------------------------------------------- #
 class TestProfilingIntegration:
